@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: the decomposition of output fidelity into
+ * two-qubit-gate, excitation, transfer, and decoherence factors as the
+ * qubit count scales, for Enola and both PowerMove configurations, over
+ * the five benchmark families the figure plots.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "harness.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+struct Sweep
+{
+    const char *family;
+    std::vector<std::size_t> sizes;
+};
+
+const std::vector<Sweep> kSweeps = {
+    {"QAOA-regular3", {20, 40, 60, 80, 100}},
+    {"QSIM-rand-0.3", {10, 20, 40, 60, 80}},
+    {"QFT", {10, 20, 30, 40, 50, 60}},
+    {"VQE", {10, 20, 30, 40, 50}},
+    {"BV", {20, 30, 40, 50, 60, 70}},
+};
+
+void
+addRows(powermove::TextTable &table, const char *family, std::size_t n,
+        const char *compiler, const powermove::FidelityBreakdown &metrics)
+{
+    using powermove::formatFidelity;
+    table.addRow({family, std::to_string(n), compiler,
+                  formatFidelity(metrics.two_q_factor),
+                  formatFidelity(metrics.excitation_factor),
+                  formatFidelity(metrics.transfer_factor),
+                  formatFidelity(metrics.decoherence_factor),
+                  formatFidelity(metrics.fidelity())});
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace powermove;
+    using namespace powermove::bench;
+
+    std::printf("=== Fig. 6: fidelity factor ablation vs #qubits ===\n");
+    std::printf("(series: two-qubit gate, excitation, transfer, decoherence "
+                "factors; with-storage excitation is identically 1)\n\n");
+
+    for (const auto &sweep : kSweeps) {
+        TextTable table({"Family", "n", "Compiler", "TwoQubit", "Excitation",
+                         "Transfer", "Decoherence", "Total"});
+        for (const std::size_t n : sweep.sizes) {
+            const auto spec = makeFamilyInstance(sweep.family, n);
+            const auto trio = runTrio(spec);
+            addRows(table, sweep.family, n, "Enola", trio.enola.metrics);
+            addRows(table, sweep.family, n, "Ours-ns",
+                    trio.non_storage.metrics);
+            addRows(table, sweep.family, n, "Ours-ws",
+                    trio.with_storage.metrics);
+        }
+        std::printf("--- %s ---\n%s\n", sweep.family,
+                    table.toString().c_str());
+    }
+    return 0;
+}

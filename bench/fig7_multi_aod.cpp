@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: execution time and fidelity of PowerMove
+ * (with storage) under 1-4 independent AOD arrays, on the five circuits
+ * the figure evaluates: 100-qubit QAOA-regular3, 20-qubit QSIM-rand-0.3,
+ * 18-qubit QFT, 50-qubit VQE, and 70-qubit BV.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "compiler/powermove.hpp"
+#include "report/table.hpp"
+#include "workloads/suite.hpp"
+
+int
+main()
+{
+    using namespace powermove;
+
+    const std::vector<std::string> benchmarks = {
+        "QAOA-regular3-100", "QSIM-rand-0.3-20", "QFT-18", "VQE-50", "BV-70",
+    };
+
+    std::printf("=== Fig. 7: effects of multiple AODs ===\n\n");
+
+    TextTable table({"Benchmark", "#AOD", "Texe (us)", "Speedup vs 1 AOD",
+                     "Fidelity"});
+    for (const auto &name : benchmarks) {
+        const auto spec = findBenchmark(name);
+        const Machine machine(spec.machine_config);
+        const Circuit circuit = spec.build();
+
+        double base_texe = 0.0;
+        for (std::size_t aods = 1; aods <= 4; ++aods) {
+            const PowerMoveCompiler compiler(machine, {true, aods});
+            const auto result = compiler.compile(circuit);
+            const double texe = result.metrics.exec_time.micros();
+            if (aods == 1)
+                base_texe = texe;
+            table.addRow({name, std::to_string(aods),
+                          formatGeneral(texe, 6),
+                          formatRatio(base_texe / texe),
+                          formatFidelity(result.metrics.fidelity())});
+        }
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end compile-time microbenchmark: PowerMove vs the Enola
+ * baseline across program sizes. Supports the T_comp column of Table 3:
+ * PowerMove's near-linear heuristics vs the baseline's iterated-MIS
+ * scheduling produce a compile-time gap that widens with circuit size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/powermove.hpp"
+#include "enola/enola.hpp"
+#include "workloads/qaoa.hpp"
+#include "workloads/qft.hpp"
+
+namespace {
+
+using namespace powermove;
+
+void
+BM_PowerMoveCompileQaoa(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Circuit circuit = makeQaoaRegular(n, 3, 1, n);
+    const PowerMoveCompiler compiler(machine, {true, 1});
+    for (auto _ : state) {
+        auto result = compiler.compile(circuit);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_EnolaCompileQaoa(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Circuit circuit = makeQaoaRegular(n, 3, 1, n);
+    const EnolaCompiler compiler(machine);
+    for (auto _ : state) {
+        auto result = compiler.compile(circuit);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_PowerMoveCompileQft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Circuit circuit = makeQft(n);
+    const PowerMoveCompiler compiler(machine, {true, 1});
+    for (auto _ : state) {
+        auto result = compiler.compile(circuit);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+void
+BM_EnolaCompileQft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Circuit circuit = makeQft(n);
+    const EnolaCompiler compiler(machine);
+    for (auto _ : state) {
+        auto result = compiler.compile(circuit);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_PowerMoveCompileQaoa)
+    ->Arg(30)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_EnolaCompileQaoa)
+    ->Arg(30)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_PowerMoveCompileQft)
+    ->Arg(18)
+    ->Arg(29)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnolaCompileQft)
+    ->Arg(18)
+    ->Arg(29)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Microbenchmark: stage partitioning cost, PowerMove's near-linear
+ * greedy edge coloring (Alg. 1) vs Enola's iterated-MIS extraction.
+ * The widening gap with gate count is the algorithmic core of the
+ * paper's compile-time story (Sec. 7.2).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "enola/mis.hpp"
+#include "schedule/stage_partition.hpp"
+
+namespace {
+
+using namespace powermove;
+
+CzBlock
+randomBlock(std::size_t num_qubits, std::size_t num_gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CzBlock block;
+    block.gates.reserve(num_gates);
+    while (block.gates.size() < num_gates) {
+        const auto a = static_cast<QubitId>(rng.nextBelow(num_qubits));
+        const auto b = static_cast<QubitId>(rng.nextBelow(num_qubits));
+        if (a != b)
+            block.gates.push_back(CzGate{a, b}.canonical());
+    }
+    return block;
+}
+
+void
+BM_GreedyColoringPartition(benchmark::State &state)
+{
+    const auto gates = static_cast<std::size_t>(state.range(0));
+    const std::size_t qubits = gates / 2 + 2;
+    const CzBlock block = randomBlock(qubits, gates, 42);
+    for (auto _ : state) {
+        auto stages = partitionIntoStages(block, qubits);
+        benchmark::DoNotOptimize(stages);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_MisPartition(benchmark::State &state)
+{
+    const auto gates = static_cast<std::size_t>(state.range(0));
+    const std::size_t qubits = gates / 2 + 2;
+    const CzBlock block = randomBlock(qubits, gates, 42);
+    for (auto _ : state) {
+        auto stages = partitionStagesByMis(block, qubits);
+        benchmark::DoNotOptimize(stages);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_GreedyColoringPartition)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK(BM_MisPartition)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+BENCHMARK_MAIN();

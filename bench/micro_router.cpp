@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks of the movement pipeline: one continuous-router stage
+ * transition, distance-aware grouping vs MIS grouping, and the AOD
+ * conflict predicate itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/layout.hpp"
+#include "common/rng.hpp"
+#include "enola/mis.hpp"
+#include "route/conflict.hpp"
+#include "route/grouping.hpp"
+#include "route/router.hpp"
+
+namespace {
+
+using namespace powermove;
+
+Stage
+randomMatching(std::size_t num_qubits, std::size_t pairs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<QubitId> qubits(num_qubits);
+    for (QubitId q = 0; q < num_qubits; ++q)
+        qubits[q] = q;
+    rng.shuffle(qubits);
+    Stage stage;
+    for (std::size_t p = 0; p < pairs; ++p)
+        stage.gates.push_back(
+            CzGate{qubits[2 * p], qubits[2 * p + 1]}.canonical());
+    return stage;
+}
+
+void
+BM_RouterStageTransition(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Stage stage = randomMatching(n, n / 4, 7);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Layout layout(machine, n);
+        placeRowMajor(layout, ZoneKind::Storage);
+        ContinuousRouter router(machine, {true, 11});
+        state.ResumeTiming();
+        auto plan = router.planStageTransition(layout, stage);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+std::vector<QubitMove>
+randomMoves(const Machine &machine, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<QubitMove> moves;
+    const auto sites = machine.numSites();
+    for (QubitId q = 0; q < count; ++q) {
+        moves.push_back(QubitMove{q,
+                                  static_cast<SiteId>(rng.nextBelow(sites)),
+                                  static_cast<SiteId>(rng.nextBelow(sites))});
+    }
+    return moves;
+}
+
+void
+BM_DistanceAwareGrouping(benchmark::State &state)
+{
+    const Machine machine(MachineConfig::forQubits(256));
+    const auto moves =
+        randomMoves(machine, static_cast<std::size_t>(state.range(0)), 3);
+    for (auto _ : state) {
+        auto groups = groupMoves(machine, moves);
+        benchmark::DoNotOptimize(groups);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_MisGrouping(benchmark::State &state)
+{
+    const Machine machine(MachineConfig::forQubits(256));
+    const auto moves =
+        randomMoves(machine, static_cast<std::size_t>(state.range(0)), 3);
+    for (auto _ : state) {
+        auto groups = groupMovesByMis(machine, moves);
+        benchmark::DoNotOptimize(groups);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_ConflictPredicate(benchmark::State &state)
+{
+    const Machine machine(MachineConfig::forQubits(256));
+    const auto moves = randomMoves(machine, 64, 5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &a = moves[i % moves.size()];
+        const auto &b = moves[(i * 31 + 7) % moves.size()];
+        benchmark::DoNotOptimize(movesConflict(machine, a, b));
+        ++i;
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_RouterStageTransition)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DistanceAwareGrouping)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+BENCHMARK(BM_MisGrouping)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+BENCHMARK(BM_ConflictPredicate);
+
+BENCHMARK_MAIN();

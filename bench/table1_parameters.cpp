@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 1: hardware fidelity and duration parameters,
+ * including the movement-time law's calibration points.
+ */
+
+#include <cstdio>
+
+#include "arch/params.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+
+int
+main()
+{
+    using namespace powermove;
+    const HardwareParams params;
+
+    std::printf("=== Table 1: parameters on the fidelity and duration of "
+                "operations on NAQC ===\n\n");
+
+    TextTable table({"Operation", "Fidelity", "Duration"});
+    table.addRow({"1Q gate", formatGeneral(params.f_one_q * 100, 6) + "%",
+                  formatGeneral(params.t_one_q.micros(), 4) + " us"});
+    table.addRow({"CZ gate", formatGeneral(params.f_cz * 100, 6) + "%",
+                  formatGeneral(params.t_cz.micros() * 1000, 4) + " ns"});
+    table.addRow({"Excitation",
+                  formatGeneral(params.f_excitation * 100, 6) + "%",
+                  formatGeneral(params.t_cz.micros() * 1000, 4) + " ns"});
+    table.addRow({"Transfer", formatGeneral(params.f_transfer * 100, 6) + "%",
+                  formatGeneral(params.t_transfer.micros(), 4) + " us"});
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("Qubit movement: ~100%% fidelity if a < %.0f m/s^2\n",
+                params.max_acceleration);
+    std::printf("  t(27.5 um) = %.1f us, t(110 um) = %.1f us "
+                "(t = %.0f us * sqrt(d / %.0f um))\n",
+                params.moveDuration(Distance::microns(27.5)).micros(),
+                params.moveDuration(Distance::microns(110.0)).micros(),
+                params.move_t_ref.micros(), params.move_d_ref.microns());
+    std::printf("Coherence time T2 = %.1f s; site pitch = %.0f um; "
+                "zone gap = %.0f um\n",
+                params.t2.seconds(), params.site_pitch.microns(),
+                params.zone_gap.microns());
+    return 0;
+}

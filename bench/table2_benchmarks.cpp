@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the benchmark suite and the zone dimensions
+ * derived from the Sec. 7.1 sizing rule, plus circuit shape statistics.
+ */
+
+#include <cstdio>
+
+#include "circuit/stats.hpp"
+#include "report/table.hpp"
+#include "workloads/suite.hpp"
+
+int
+main()
+{
+    using namespace powermove;
+
+    std::printf("=== Table 2: benchmarks and machine configurations ===\n\n");
+
+    TextTable table({"Name", "#Qubits", "Compute Zone (um^2)",
+                     "Inter Zone (um^2)", "Storage Zone (um^2)", "CZ gates",
+                     "CZ blocks"});
+    for (const auto &spec : table2Suite()) {
+        const auto stats = computeStats(spec.build());
+        table.addRow({spec.family, std::to_string(spec.num_qubits),
+                      spec.machine_config.computeZoneExtent(),
+                      spec.machine_config.interZoneExtent(),
+                      spec.machine_config.storageZoneExtent(),
+                      std::to_string(stats.num_cz_gates),
+                      std::to_string(stats.num_blocks)});
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces paper Table 3: fidelity, execution time and compilation
+ * time of Enola vs PowerMove (non-storage / with-storage) over the full
+ * benchmark suite. Paper-reported values are printed alongside the
+ * measured ones so the reproduction quality is visible at a glance.
+ * Absolute compile times are not comparable (the authors measured a
+ * Python/solver artifact; both pipelines here are C++), so the paper's
+ * T_comp improvement ratio is shown for reference only.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/strings.hpp"
+#include "harness.hpp"
+#include "report/summary.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+/** Paper Table 3 reference rows. */
+struct PaperRow
+{
+    double enola_fid, ns_fid, ws_fid;
+    double enola_texe, ns_texe, ws_texe;
+    double tcomp_improv;
+};
+
+const std::map<std::string, PaperRow> kPaper = {
+    {"QAOA-regular3-30", {0.48, 0.64, 0.68, 13198.04, 4680.72, 6116.19, 3.10}},
+    {"QAOA-regular3-40", {0.34, 0.53, 0.57, 17249.38, 5601.12, 8998.75, 3.49}},
+    {"QAOA-regular3-50", {0.23, 0.43, 0.49, 21087.88, 7135.26, 9582.99, 3.43}},
+    {"QAOA-regular3-60", {0.14, 0.35, 0.39, 25449.73, 8134.16, 12440.46, 3.15}},
+    {"QAOA-regular3-80", {0.05, 0.22, 0.24, 33553.14, 10490.10, 17746.76, 3.22}},
+    {"QAOA-regular3-100", {0.01, 0.10, 0.14, 44038.42, 16122.96, 21710.11, 3.66}},
+    {"QAOA-regular4-30", {0.40, 0.56, 0.56, 16450.23, 6056.05, 12127.03, 3.93}},
+    {"QAOA-regular4-40", {0.24, 0.45, 0.42, 23365.45, 7394.03, 17608.55, 4.03}},
+    {"QAOA-regular4-50", {0.14, 0.34, 0.31, 30079.41, 9928.27, 20013.50, 4.01}},
+    {"QAOA-regular4-60", {0.07, 0.26, 0.23, 36332.16, 11306.93, 22594.20, 4.04}},
+    {"QAOA-regular4-80", {0.01, 0.10, 0.09, 49182.73, 19631.36, 32934.94, 4.04}},
+    {"QAOA-random-20", {0.23, 0.39, 0.47, 32768.58, 11782.99, 16845.33, 7.06}},
+    {"QAOA-random-30", {0.03, 0.11, 0.16, 68113.52, 25391.69, 38051.69, 9.27}},
+    {"QFT-18", {8.95e-4, 4.87e-3, 0.05, 108173.62, 36810.15, 107637.68, 31.42}},
+    {"QFT-29", {7.12e-9, 9.99e-7, 5.78e-4, 239150.00, 89670.26, 237315.37, 47.10}},
+    {"BV-14", {0.57, 0.60, 0.91, 5583.98, 3034.20, 5282.11, 23.26}},
+    {"BV-50", {0.04, 0.05, 0.84, 10118.96, 5631.26, 9255.85, 95.32}},
+    {"BV-70", {6.92e-4, 1.05e-3, 0.75, 17620.11, 10277.27, 15942.37, 213.55}},
+    {"VQE-30", {0.71, 0.81, 0.79, 5436.18, 1688.03, 2981.71, 1.94}},
+    {"VQE-50", {0.48, 0.67, 0.63, 10196.50, 2946.26, 5354.37, 1.89}},
+    {"QSIM-rand-0.3-10", {0.51, 0.60, 0.74, 13353.05, 4886.36, 9713.39, 10.00}},
+    {"QSIM-rand-0.3-20", {0.05, 0.08, 0.42, 37796.35, 16636.02, 35550.68, 53.64}},
+    {"QSIM-rand-0.3-40", {3.94e-6, 2.39e-5, 0.14, 93062.71, 45424.55, 89418.81, 64.74}},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace powermove;
+    using namespace powermove::bench;
+
+    std::printf("=== Table 3: main results (measured | paper) ===\n\n");
+
+    TextTable fidelity({"Benchmark", "Enola", "Enola(paper)", "Ours-ns",
+                        "ns(paper)", "Ours-ws", "ws(paper)", "Fid.Improv",
+                        "Improv(paper)"});
+    TextTable time({"Benchmark", "Enola Texe(us)", "paper", "ns Texe(us)",
+                    "paper", "ws Texe(us)", "paper", "Texe Improv",
+                    "Improv(paper)"});
+    TextTable comp({"Benchmark", "Enola Tcomp(ms)", "Our Tcomp(ms)",
+                    "Tcomp Improv", "Improv(paper)"});
+
+    RatioSummary fid_improv;
+    RatioSummary storage_fid_improv;
+    RatioSummary texe_improv;
+
+    for (const auto &spec : table2Suite()) {
+        const auto trio = runTrio(spec);
+        const auto &paper = kPaper.at(spec.name);
+
+        const double enola_fid = trio.enola.metrics.fidelity();
+        const double ns_fid = trio.non_storage.metrics.fidelity();
+        const double ws_fid = trio.with_storage.metrics.fidelity();
+        fidelity.addRow(
+            {spec.name, formatFidelity(enola_fid),
+             formatFidelity(paper.enola_fid), formatFidelity(ns_fid),
+             formatFidelity(paper.ns_fid), formatFidelity(ws_fid),
+             formatFidelity(paper.ws_fid), formatRatio(ws_fid / enola_fid),
+             formatRatio(paper.ws_fid / paper.enola_fid)});
+
+        fid_improv.add(ws_fid / enola_fid);
+        storage_fid_improv.add(ws_fid / ns_fid);
+
+        const double enola_texe = trio.enola.metrics.exec_time.micros();
+        const double ns_texe = trio.non_storage.metrics.exec_time.micros();
+        const double ws_texe = trio.with_storage.metrics.exec_time.micros();
+        time.addRow({spec.name, formatGeneral(enola_texe, 6),
+                     formatGeneral(paper.enola_texe, 6),
+                     formatGeneral(ns_texe, 6),
+                     formatGeneral(paper.ns_texe, 6),
+                     formatGeneral(ws_texe, 6),
+                     formatGeneral(paper.ws_texe, 6),
+                     formatRatio(enola_texe / ns_texe),
+                     formatRatio(paper.enola_texe / paper.ns_texe)});
+        texe_improv.add(enola_texe / ns_texe);
+
+        const double enola_ms = trio.enola.compile_time.micros() / 1000.0;
+        const double ours_ms = ourCompileMicros(trio) / 1000.0;
+        comp.addRow({spec.name, formatGeneral(enola_ms, 4),
+                     formatGeneral(ours_ms, 4),
+                     formatRatio(enola_ms / ours_ms),
+                     formatRatio(paper.tcomp_improv)});
+    }
+
+    std::printf("--- Fidelity ---\n%s\n", fidelity.toString().c_str());
+    std::printf("--- Execution time ---\n%s\n", time.toString().c_str());
+    std::printf("--- Compilation time (absolute values not comparable to "
+                "the paper's Python artifact) ---\n%s",
+                comp.toString().c_str());
+
+    std::printf("\n--- Aggregates (cf. the paper's summary claims) ---\n");
+    std::printf("fidelity improvement ws/Enola:      %s\n",
+                fid_improv.toString().c_str());
+    std::printf("storage-zone benefit ws/ns:         %s\n",
+                storage_fid_improv.toString().c_str());
+    std::printf("execution-time improvement Enola/ns: %s\n",
+                texe_improv.toString().c_str());
+    return 0;
+}

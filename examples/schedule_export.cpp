@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exports a compiled schedule as JSON (for external visualizers) and
+ * prints the timeline trace: where the wall-clock goes, how long qubits
+ * dwell in storage, and how far atoms travel in total.
+ *
+ * Usage: schedule_export [benchmark-name] [out.json]
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "compiler/powermove.hpp"
+#include "fidelity/trace.hpp"
+#include "isa/json.hpp"
+#include "workloads/suite.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace powermove;
+
+    const std::string name = argc > 1 ? argv[1] : "QSIM-rand-0.3-10";
+    const auto spec = findBenchmark(name);
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    const auto result = PowerMoveCompiler(machine).compile(circuit);
+    const auto trace = traceSchedule(result.schedule);
+
+    std::printf("benchmark %s: %zu instructions, makespan %.1f us\n",
+                name.c_str(), trace.instructions.size(),
+                trace.total.micros());
+    std::printf("  movement share:      %.1f%% (%.1f us across %zu "
+                "batches, max %zu qubits per batch)\n",
+                100.0 * trace.movementShare(), trace.moving.micros(),
+                result.schedule.numMoveBatches(), trace.max_batch_moves);
+    std::printf("  storage utilization: %.1f%% of qubit-time\n",
+                100.0 * trace.storageUtilization());
+    std::printf("  total move distance: %.1f um over %zu relocations\n",
+                trace.total_move_distance.microns(),
+                result.schedule.numQubitMoves());
+
+    const std::string json = scheduleToJson(result.schedule);
+    if (argc > 2) {
+        std::ofstream out(argv[2]);
+        out << json;
+        std::printf("wrote %zu bytes of JSON to %s\n", json.size(), argv[2]);
+    } else {
+        std::printf("\nfirst 400 bytes of the JSON export:\n%.400s...\n",
+                    json.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+#include "arch/params.hpp"
+
+#include <cmath>
+
+namespace powermove {
+
+Duration
+HardwareParams::moveDuration(Distance distance) const
+{
+    if (distance.microns() <= 0.0)
+        return Duration::micros(0.0);
+    return move_t_ref * std::sqrt(distance / move_d_ref);
+}
+
+} // namespace powermove

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hardware parameters of the neutral-atom machine.
+ *
+ * Defaults follow Table 1 of the PowerMove paper, which in turn collects
+ * the latest experimental numbers (Bluvstein et al. 2022/2024, Evered et
+ * al. 2023): 99.99% / 1 us single-qubit gates, 99.5% / 270 ns CZ gates,
+ * 99.75% excitation fidelity for idle qubits under the Rydberg pulse,
+ * 99.9% / 15 us SLM<->AOD transfers, T2 = 1.5 s, and the square-root
+ * movement-time law calibrated to "100 us (200 us) for 27.5 um (110 um)".
+ */
+
+#ifndef POWERMOVE_ARCH_PARAMS_HPP
+#define POWERMOVE_ARCH_PARAMS_HPP
+
+#include "common/units.hpp"
+
+namespace powermove {
+
+/** Physical machine parameters (paper Table 1 and Sec. 5.1). */
+struct HardwareParams
+{
+    /** Single-qubit gate fidelity. */
+    double f_one_q = 0.9999;
+    /** CZ gate fidelity. */
+    double f_cz = 0.995;
+    /** Fidelity of a non-interacting qubit exposed to a Rydberg pulse. */
+    double f_excitation = 0.9975;
+    /** Fidelity of one SLM<->AOD transfer (one direction). */
+    double f_transfer = 0.999;
+
+    /** Single-qubit gate duration. */
+    Duration t_one_q = Duration::micros(1.0);
+    /** CZ gate (Rydberg pulse) duration. */
+    Duration t_cz = Duration::nanos(270.0);
+    /** One-directional trap transfer duration. */
+    Duration t_transfer = Duration::micros(15.0);
+    /** Coherence time T2 of a qubit outside the storage zone. */
+    Duration t2 = Duration::seconds(1.5);
+
+    /** Lattice pitch between adjacent sites. */
+    Distance site_pitch = Distance::microns(15.0);
+    /** Vertical separation between compute and storage zones. */
+    Distance zone_gap = Distance::microns(30.0);
+    /** Rydberg blockade radius (interacting pairs sit within it). */
+    Distance rydberg_radius = Distance::microns(6.0);
+    /** Minimum separation of non-interacting qubits during a pulse. */
+    Distance min_idle_separation = Distance::microns(10.0);
+
+    /** Maximum AOD acceleration preserving fidelity (m/s^2). */
+    double max_acceleration = 2750.0;
+
+    /** Reference duration of the movement-time law. */
+    Duration move_t_ref = Duration::micros(200.0);
+    /** Reference distance of the movement-time law. */
+    Distance move_d_ref = Distance::microns(110.0);
+
+    /**
+     * Wall time of an AOD move covering @p distance:
+     * t(d) = move_t_ref * sqrt(d / move_d_ref). Zero distance is free.
+     */
+    Duration moveDuration(Distance distance) const;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_ARCH_PARAMS_HPP

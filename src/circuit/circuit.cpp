@@ -1,0 +1,103 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+std::size_t
+OneQLayer::depth(std::size_t num_qubits) const
+{
+    std::vector<std::size_t> per_qubit(num_qubits, 0);
+    std::size_t depth = 0;
+    for (const auto &gate : gates) {
+        PM_ASSERT(gate.qubit < num_qubits, "1Q gate qubit out of range");
+        depth = std::max(depth, ++per_qubit[gate.qubit]);
+    }
+    return depth;
+}
+
+std::vector<QubitId>
+CzBlock::touchedQubits() const
+{
+    std::vector<QubitId> qubits;
+    qubits.reserve(gates.size() * 2);
+    for (const auto &gate : gates) {
+        qubits.push_back(gate.a);
+        qubits.push_back(gate.b);
+    }
+    std::sort(qubits.begin(), qubits.end());
+    qubits.erase(std::unique(qubits.begin(), qubits.end()), qubits.end());
+    return qubits;
+}
+
+Circuit::Circuit(std::size_t num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name))
+{}
+
+void
+Circuit::checkQubit(QubitId q) const
+{
+    if (q >= num_qubits_)
+        fatal("gate addresses qubit " + std::to_string(q) + " but circuit has " +
+              std::to_string(num_qubits_) + " qubits");
+}
+
+void
+Circuit::append(const OneQGate &gate)
+{
+    checkQubit(gate.qubit);
+    barrier_pending_ = false;
+    if (moments_.empty() || !std::holds_alternative<OneQLayer>(moments_.back()))
+        moments_.emplace_back(OneQLayer{});
+    std::get<OneQLayer>(moments_.back()).gates.push_back(gate);
+    ++num_one_q_;
+}
+
+void
+Circuit::append(const CzGate &gate)
+{
+    checkQubit(gate.a);
+    checkQubit(gate.b);
+    if (gate.a == gate.b)
+        fatal("CZ gate endpoints must differ");
+    if (moments_.empty() || barrier_pending_ ||
+        !std::holds_alternative<CzBlock>(moments_.back())) {
+        moments_.emplace_back(CzBlock{});
+        ++num_blocks_;
+    }
+    barrier_pending_ = false;
+    std::get<CzBlock>(moments_.back()).gates.push_back(gate.canonical());
+    ++num_cz_;
+}
+
+void
+Circuit::appendCircuit(const Circuit &other)
+{
+    if (other.numQubits() != num_qubits_)
+        fatal("appendCircuit requires matching qubit counts");
+    for (const auto &moment : other.moments()) {
+        if (const auto *layer = std::get_if<OneQLayer>(&moment)) {
+            for (const auto &gate : layer->gates)
+                append(gate);
+        } else {
+            for (const auto &gate : std::get<CzBlock>(moment).gates)
+                append(gate);
+        }
+    }
+}
+
+std::vector<const CzBlock *>
+Circuit::blocks() const
+{
+    std::vector<const CzBlock *> result;
+    result.reserve(num_blocks_);
+    for (const auto &moment : moments_) {
+        if (const auto *block = std::get_if<CzBlock>(&moment))
+            result.push_back(block);
+    }
+    return result;
+}
+
+} // namespace powermove

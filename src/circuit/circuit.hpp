@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The circuit intermediate representation.
+ *
+ * A Circuit is a sequence of *moments*, strictly alternating between
+ * layers of single-qubit gates and blocks of mutually commutable CZ gates
+ * ("dependent CZ blocks", paper Sec. 4.1). All CZ gates are diagonal and
+ * therefore commute with one another, so a block is a maximal run of CZ
+ * gates uninterrupted by single-qubit gates; the compiler is free to
+ * reorder stages within a block but must respect block order.
+ *
+ * Appending gates maintains the alternating structure automatically:
+ * consecutive CZ gates extend the current block, and a 1Q gate closes it.
+ */
+
+#ifndef POWERMOVE_CIRCUIT_CIRCUIT_HPP
+#define POWERMOVE_CIRCUIT_CIRCUIT_HPP
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace powermove {
+
+/** A layer of single-qubit gates executed between CZ blocks. */
+struct OneQLayer
+{
+    std::vector<OneQGate> gates;
+
+    /**
+     * Serialized depth of the layer: the maximum number of gates stacked
+     * on any single qubit. Gates on distinct qubits run in parallel, so
+     * the layer takes depth * t_1q wall time.
+     */
+    std::size_t depth(std::size_t num_qubits) const;
+};
+
+/** A block of mutually commutable CZ gates. */
+struct CzBlock
+{
+    std::vector<CzGate> gates;
+
+    /** Distinct qubits touched by the block. */
+    std::vector<QubitId> touchedQubits() const;
+};
+
+/** One element of the alternating moment sequence. */
+using Moment = std::variant<OneQLayer, CzBlock>;
+
+/** A quantum program in the {1Q, CZ} basis. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Creates an empty circuit over @p num_qubits qubits. */
+    explicit Circuit(std::size_t num_qubits, std::string name = "circuit");
+
+    /** Number of program qubits. */
+    std::size_t numQubits() const { return num_qubits_; }
+
+    /** Human-readable benchmark name. */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /**
+     * Appends a single-qubit gate. Closes the current CZ block (if one is
+     * open) and extends or opens a 1Q layer.
+     */
+    void append(const OneQGate &gate);
+
+    /**
+     * Appends a CZ gate. Extends the current CZ block, or opens a new one
+     * if the previous moment is a 1Q layer. Self-interactions are
+     * rejected.
+     */
+    void append(const CzGate &gate);
+
+    /** Appends every gate of @p other (qubit counts must match). */
+    void appendCircuit(const Circuit &other);
+
+    /**
+     * Closes the current moment: subsequent CZ gates start a new block
+     * even without an intervening 1Q gate (QASM barrier semantics).
+     */
+    void barrier() { barrier_pending_ = true; }
+
+    /** The alternating moment sequence. */
+    const std::vector<Moment> &moments() const { return moments_; }
+
+    /** All CZ blocks, in program order. */
+    std::vector<const CzBlock *> blocks() const;
+
+    /** Total number of single-qubit gates. */
+    std::size_t numOneQGates() const { return num_one_q_; }
+
+    /** Total number of CZ gates. */
+    std::size_t numCzGates() const { return num_cz_; }
+
+    /** Number of CZ blocks. */
+    std::size_t numBlocks() const { return num_blocks_; }
+
+    /** True if the circuit has no gates. */
+    bool empty() const { return moments_.empty(); }
+
+  private:
+    void checkQubit(QubitId q) const;
+
+    std::size_t num_qubits_ = 0;
+    std::string name_ = "circuit";
+    std::vector<Moment> moments_;
+    std::size_t num_one_q_ = 0;
+    std::size_t num_cz_ = 0;
+    std::size_t num_blocks_ = 0;
+    bool barrier_pending_ = false;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_CIRCUIT_CIRCUIT_HPP

@@ -1,0 +1,146 @@
+#include "circuit/fuse.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+bool
+isDiagonal(OneQKind kind)
+{
+    switch (kind) {
+      case OneQKind::Z:
+      case OneQKind::S:
+      case OneQKind::Sdg:
+      case OneQKind::T:
+      case OneQKind::Tdg:
+      case OneQKind::Rz:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Membership bitmap of the qubits a block touches. */
+std::vector<bool>
+touchedMask(const CzBlock &block, std::size_t num_qubits)
+{
+    std::vector<bool> mask(num_qubits, false);
+    for (const auto &gate : block.gates) {
+        mask[gate.a] = true;
+        mask[gate.b] = true;
+    }
+    return mask;
+}
+
+} // namespace
+
+Circuit
+fuseCommutableBlocks(const Circuit &circuit)
+{
+    const std::size_t n = circuit.numQubits();
+
+    // Working representation: an optional leading layer, then
+    // alternating (block, layer) pairs.
+    std::vector<OneQGate> leading;
+    struct Segment
+    {
+        CzBlock block;
+        std::vector<bool> touched;
+        std::vector<OneQGate> following;
+    };
+    std::vector<Segment> segments;
+
+    const auto pending_of = [&]() -> std::vector<OneQGate> & {
+        return segments.empty() ? leading : segments.back().following;
+    };
+
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *layer = std::get_if<OneQLayer>(&moment)) {
+            auto &pending = pending_of();
+            pending.insert(pending.end(), layer->gates.begin(),
+                           layer->gates.end());
+            continue;
+        }
+        const auto &block = std::get<CzBlock>(moment);
+
+        if (!segments.empty()) {
+            Segment &prev = segments.back();
+            const auto new_mask = touchedMask(block, n);
+
+            // Try to clear the in-between layer: hoist gates before the
+            // previous block or sink them after this one. Once a gate
+            // on some qubit sinks, later gates on that qubit must sink
+            // too (their relative order must survive).
+            std::vector<OneQGate> hoisted;
+            std::vector<OneQGate> sunk;
+            std::vector<bool> qubit_sunk(n, false);
+            bool blocked = false;
+            for (const auto &gate : prev.following) {
+                const bool hoistable =
+                    (isDiagonal(gate.kind) || !prev.touched[gate.qubit]) &&
+                    !qubit_sunk[gate.qubit];
+                const bool sinkable =
+                    isDiagonal(gate.kind) || !new_mask[gate.qubit];
+                if (hoistable) {
+                    hoisted.push_back(gate);
+                } else if (sinkable) {
+                    sunk.push_back(gate);
+                    qubit_sunk[gate.qubit] = true;
+                } else {
+                    blocked = true;
+                    break;
+                }
+            }
+
+            if (!blocked) {
+                // Merge: hoisted gates jump before the previous block,
+                // the new block's gates join it, sunk gates stay pending.
+                auto &pre_layer = segments.size() >= 2
+                                      ? segments[segments.size() - 2].following
+                                      : leading;
+                pre_layer.insert(pre_layer.end(), hoisted.begin(),
+                                 hoisted.end());
+                prev.block.gates.insert(prev.block.gates.end(),
+                                        block.gates.begin(),
+                                        block.gates.end());
+                for (QubitId q = 0; q < n; ++q) {
+                    if (new_mask[q])
+                        prev.touched[q] = true;
+                }
+                prev.following = std::move(sunk);
+                continue;
+            }
+        }
+
+        Segment segment;
+        segment.block = block;
+        segment.touched = touchedMask(block, n);
+        segments.push_back(std::move(segment));
+    }
+
+    // Re-emit.
+    Circuit fused(n, circuit.name());
+    for (const auto &gate : leading)
+        fused.append(gate);
+    for (const auto &segment : segments) {
+        for (const auto &gate : segment.block.gates)
+            fused.append(gate);
+        for (const auto &gate : segment.following)
+            fused.append(gate);
+    }
+
+    PM_ASSERT(fused.numCzGates() == circuit.numCzGates(),
+              "fusion must preserve the CZ gate multiset");
+    PM_ASSERT(fused.numOneQGates() == circuit.numOneQGates(),
+              "fusion must preserve the 1Q gate count");
+    PM_ASSERT(fused.numBlocks() <= circuit.numBlocks(),
+              "fusion must not create blocks");
+    return fused;
+}
+
+} // namespace powermove

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Commutation-aware CZ block fusion.
+ *
+ * The strict alternating IR closes a CZ block whenever any 1Q gate
+ * appears, but many of those gates commute past the block: diagonal
+ * gates (Z, S, T, Rz and adjoints) commute with CZ everywhere, and any
+ * 1Q gate commutes with a block that never touches its qubit. Fusing
+ * across such layers merges adjacent blocks, giving the stage partition
+ * more parallelism to mine — the transformation the QFT generator
+ * performs by hand when it defers its Rz corrections (see qft.cpp).
+ * Especially effective on QASM imports, where decompositions sprinkle
+ * Rz gates between CZs.
+ */
+
+#ifndef POWERMOVE_CIRCUIT_FUSE_HPP
+#define POWERMOVE_CIRCUIT_FUSE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** True for 1Q gates diagonal in the computational basis. */
+bool isDiagonal(OneQKind kind);
+
+/**
+ * Fuses adjacent CZ blocks whenever the 1Q gates between them can be
+ * hoisted before the earlier block or sunk after the later one without
+ * changing circuit semantics. Gate counts are preserved exactly; the
+ * number of blocks never increases. Explicit barriers are dissolved
+ * (they exist to *prevent* commuting, so run this pass only when that
+ * is acceptable).
+ */
+Circuit fuseCommutableBlocks(const Circuit &circuit);
+
+} // namespace powermove
+
+#endif // POWERMOVE_CIRCUIT_FUSE_HPP

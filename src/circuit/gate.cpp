@@ -1,0 +1,53 @@
+#include "circuit/gate.hpp"
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+bool
+oneQKindHasAngle(OneQKind kind)
+{
+    switch (kind) {
+      case OneQKind::Rx:
+      case OneQKind::Ry:
+      case OneQKind::Rz:
+      case OneQKind::U:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+oneQKindName(OneQKind kind)
+{
+    switch (kind) {
+      case OneQKind::H:
+        return "h";
+      case OneQKind::X:
+        return "x";
+      case OneQKind::Y:
+        return "y";
+      case OneQKind::Z:
+        return "z";
+      case OneQKind::S:
+        return "s";
+      case OneQKind::Sdg:
+        return "sdg";
+      case OneQKind::T:
+        return "t";
+      case OneQKind::Tdg:
+        return "tdg";
+      case OneQKind::Rx:
+        return "rx";
+      case OneQKind::Ry:
+        return "ry";
+      case OneQKind::Rz:
+        return "rz";
+      case OneQKind::U:
+        return "u";
+    }
+    panic("unknown OneQKind");
+}
+
+} // namespace powermove

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Gate-level building blocks of the circuit IR.
+ *
+ * Neutral-atom hardware natively supports parallel single-qubit rotations
+ * (Raman) and CZ gates (global Rydberg pulse on adjacent pairs); every
+ * input program is synthesized into this {1Q, CZ} basis before
+ * compilation (paper Sec. 2.2). A CzGate is one *adjacency episode*: the
+ * two qubits must share a site during one Rydberg stage.
+ */
+
+#ifndef POWERMOVE_CIRCUIT_GATE_HPP
+#define POWERMOVE_CIRCUIT_GATE_HPP
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace powermove {
+
+/** Index of a program qubit. */
+using QubitId = std::uint32_t;
+
+/** Sentinel meaning "no qubit". */
+inline constexpr QubitId kNoQubit = ~QubitId{0};
+
+/** The single-qubit gate alphabet produced by synthesis. */
+enum class OneQKind : std::uint8_t
+{
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,
+    Ry,
+    Rz,
+    U, // generic U(theta, phi, lambda); only theta is stored
+};
+
+/** True for gate kinds that carry a rotation angle. */
+bool oneQKindHasAngle(OneQKind kind);
+
+/** Lower-case mnemonic ("h", "rz", ...). */
+std::string oneQKindName(OneQKind kind);
+
+/** A single-qubit gate instance. */
+struct OneQGate
+{
+    OneQKind kind = OneQKind::H;
+    QubitId qubit = 0;
+    /** Rotation angle in radians; meaningful only when the kind has one. */
+    double angle = 0.0;
+
+    auto operator<=>(const OneQGate &) const = default;
+};
+
+/** A CZ-class two-qubit gate (one adjacency episode between two qubits). */
+struct CzGate
+{
+    QubitId a = 0;
+    QubitId b = 0;
+
+    /** Canonical form with a < b. */
+    CzGate
+    canonical() const
+    {
+        return a <= b ? *this : CzGate{b, a};
+    }
+
+    /** True if the gate acts on @p q. */
+    bool touches(QubitId q) const { return a == q || b == q; }
+
+    /** The other endpoint of the gate. */
+    QubitId
+    partnerOf(QubitId q) const
+    {
+        return a == q ? b : a;
+    }
+
+    auto operator<=>(const CzGate &) const = default;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_CIRCUIT_GATE_HPP

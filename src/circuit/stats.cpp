@@ -1,0 +1,48 @@
+#include "circuit/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+CircuitStats
+computeStats(const Circuit &circuit)
+{
+    CircuitStats stats;
+    stats.num_qubits = circuit.numQubits();
+    stats.num_one_q_gates = circuit.numOneQGates();
+    stats.num_cz_gates = circuit.numCzGates();
+    stats.num_blocks = circuit.numBlocks();
+
+    std::vector<std::size_t> multiplicity(circuit.numQubits());
+    for (const auto *block : circuit.blocks()) {
+        stats.max_block_gates = std::max(stats.max_block_gates,
+                                         block->gates.size());
+        // Any qubit appearing k times in a block forces >= k stages, since
+        // stages act on disjoint qubits.
+        std::fill(multiplicity.begin(), multiplicity.end(), 0);
+        std::size_t block_bound = block->gates.empty() ? 0 : 1;
+        for (const auto &gate : block->gates) {
+            block_bound = std::max({block_bound, ++multiplicity[gate.a],
+                                    ++multiplicity[gate.b]});
+        }
+        stats.stage_lower_bound += block_bound;
+    }
+    return stats;
+}
+
+std::string
+CircuitStats::toString() const
+{
+    std::ostringstream os;
+    os << "qubits=" << num_qubits << " 1q=" << num_one_q_gates
+       << " cz=" << num_cz_gates << " blocks=" << num_blocks
+       << " max_block=" << max_block_gates
+       << " stage_lb=" << stage_lower_bound;
+    return os.str();
+}
+
+} // namespace powermove

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Summary statistics over circuits, used by reports and tests.
+ */
+
+#ifndef POWERMOVE_CIRCUIT_STATS_HPP
+#define POWERMOVE_CIRCUIT_STATS_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace powermove {
+
+class Circuit;
+
+/** Aggregate shape information about a circuit. */
+struct CircuitStats
+{
+    std::size_t num_qubits = 0;
+    std::size_t num_one_q_gates = 0;
+    std::size_t num_cz_gates = 0;
+    std::size_t num_blocks = 0;
+    /** Largest CZ block, in gates. */
+    std::size_t max_block_gates = 0;
+    /** Sum over blocks of the max gate multiplicity per qubit; a lower
+     *  bound on the total number of Rydberg stages. */
+    std::size_t stage_lower_bound = 0;
+
+    std::string toString() const;
+};
+
+/** Computes statistics for @p circuit. */
+CircuitStats computeStats(const Circuit &circuit);
+
+} // namespace powermove
+
+#endif // POWERMOVE_CIRCUIT_STATS_HPP

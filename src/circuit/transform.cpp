@@ -1,0 +1,173 @@
+#include "circuit/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+namespace {
+
+OneQGate
+inverseOf(const OneQGate &gate)
+{
+    OneQGate inverse = gate;
+    switch (gate.kind) {
+      case OneQKind::S:
+        inverse.kind = OneQKind::Sdg;
+        break;
+      case OneQKind::Sdg:
+        inverse.kind = OneQKind::S;
+        break;
+      case OneQKind::T:
+        inverse.kind = OneQKind::Tdg;
+        break;
+      case OneQKind::Tdg:
+        inverse.kind = OneQKind::T;
+        break;
+      case OneQKind::Rx:
+      case OneQKind::Ry:
+      case OneQKind::Rz:
+      case OneQKind::U:
+        inverse.angle = -gate.angle;
+        break;
+      default:
+        break; // H, X, Y, Z are self-inverse
+    }
+    return inverse;
+}
+
+bool
+isSelfInverse(OneQKind kind)
+{
+    switch (kind) {
+      case OneQKind::H:
+      case OneQKind::X:
+      case OneQKind::Y:
+      case OneQKind::Z:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isRotation(OneQKind kind)
+{
+    return kind == OneQKind::Rx || kind == OneQKind::Ry ||
+           kind == OneQKind::Rz;
+}
+
+} // namespace
+
+Circuit
+inverseCircuit(const Circuit &circuit)
+{
+    Circuit inverse(circuit.numQubits(), circuit.name() + "-inverse");
+    const auto &moments = circuit.moments();
+    for (auto it = moments.rbegin(); it != moments.rend(); ++it) {
+        if (const auto *layer = std::get_if<OneQLayer>(&*it)) {
+            for (auto gate = layer->gates.rbegin();
+                 gate != layer->gates.rend(); ++gate) {
+                inverse.append(inverseOf(*gate));
+            }
+        } else {
+            // CZ gates are diagonal and self-inverse; block order flips
+            // but intra-block order is irrelevant (all commute).
+            inverse.barrier();
+            for (const auto &gate : std::get<CzBlock>(*it).gates)
+                inverse.append(gate);
+        }
+    }
+    return inverse;
+}
+
+Circuit
+cancelAdjacentOneQ(const Circuit &circuit)
+{
+    Circuit simplified(circuit.numQubits(), circuit.name());
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *block = std::get_if<CzBlock>(&moment)) {
+            simplified.barrier();
+            for (const auto &gate : block->gates)
+                simplified.append(gate);
+            continue;
+        }
+        // Per-qubit peephole within the layer: cancel X X, merge
+        // rz(a) rz(b), drop zero rotations.
+        const auto &layer = std::get<OneQLayer>(moment);
+        std::vector<std::vector<OneQGate>> per_qubit(circuit.numQubits());
+        for (const auto &gate : layer.gates) {
+            auto &stack = per_qubit[gate.qubit];
+            if (!stack.empty()) {
+                const OneQGate &top = stack.back();
+                if (isSelfInverse(gate.kind) && top.kind == gate.kind) {
+                    stack.pop_back();
+                    continue;
+                }
+                if (isRotation(gate.kind) && top.kind == gate.kind) {
+                    const double merged = top.angle + gate.angle;
+                    stack.pop_back();
+                    if (std::fabs(merged) > 1e-12) {
+                        OneQGate combined = gate;
+                        combined.angle = merged;
+                        stack.push_back(combined);
+                    }
+                    continue;
+                }
+            }
+            if (isRotation(gate.kind) && std::fabs(gate.angle) < 1e-12)
+                continue;
+            stack.push_back(gate);
+        }
+        // Emit survivors in original qubit-major order for determinism.
+        for (QubitId q = 0; q < circuit.numQubits(); ++q) {
+            for (const auto &gate : per_qubit[q])
+                simplified.append(gate);
+        }
+    }
+    return simplified;
+}
+
+std::vector<std::size_t>
+gateCountsPerQubit(const Circuit &circuit)
+{
+    std::vector<std::size_t> counts(circuit.numQubits(), 0);
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *layer = std::get_if<OneQLayer>(&moment)) {
+            for (const auto &gate : layer->gates)
+                ++counts[gate.qubit];
+        } else {
+            for (const auto &gate : std::get<CzBlock>(moment).gates) {
+                ++counts[gate.a];
+                ++counts[gate.b];
+            }
+        }
+    }
+    return counts;
+}
+
+std::size_t
+circuitDepth(const Circuit &circuit)
+{
+    std::size_t depth = 0;
+    std::vector<std::size_t> multiplicity(circuit.numQubits());
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *layer = std::get_if<OneQLayer>(&moment)) {
+            depth += layer->depth(circuit.numQubits());
+        } else {
+            std::fill(multiplicity.begin(), multiplicity.end(), 0);
+            std::size_t block_depth = 0;
+            for (const auto &gate : std::get<CzBlock>(moment).gates) {
+                block_depth = std::max({block_depth, ++multiplicity[gate.a],
+                                        ++multiplicity[gate.b]});
+            }
+            depth += block_depth;
+        }
+    }
+    return depth;
+}
+
+} // namespace powermove

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Circuit transformation and analysis utilities.
+ *
+ * Small, composable passes used by the QASM pipeline and by tooling:
+ * inversion (CZ blocks are self-inverse up to 1Q adjoints), adjacent
+ * self-inverse 1Q cancellation (H/X/Y/Z pairs — the simplification that
+ * makes CX chains on one target collapse into a single CZ block), and
+ * per-qubit/depth statistics.
+ */
+
+#ifndef POWERMOVE_CIRCUIT_TRANSFORM_HPP
+#define POWERMOVE_CIRCUIT_TRANSFORM_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/**
+ * The adjoint circuit: moments reversed, each 1Q gate replaced by its
+ * inverse (S <-> Sdg, T <-> Tdg, rotations negated; H/X/Y/Z and CZ are
+ * self-inverse). Appending inverse(c) to c yields the identity.
+ */
+Circuit inverseCircuit(const Circuit &circuit);
+
+/**
+ * Cancels adjacent self-inverse 1Q gate pairs on the same qubit within
+ * each layer and merges consecutive rotations of the same axis
+ * (rz(a) rz(b) -> rz(a+b); zero-angle rotations are dropped). Returns
+ * the simplified circuit; CZ blocks are untouched.
+ */
+Circuit cancelAdjacentOneQ(const Circuit &circuit);
+
+/** Number of gates (1Q + CZ) acting on each qubit. */
+std::vector<std::size_t> gateCountsPerQubit(const Circuit &circuit);
+
+/**
+ * Circuit depth in moments, where a 1Q layer contributes its serialized
+ * depth and a CZ block contributes its stage lower bound (max per-qubit
+ * gate multiplicity).
+ */
+std::size_t circuitDepth(const Circuit &circuit);
+
+} // namespace powermove
+
+#endif // POWERMOVE_CIRCUIT_TRANSFORM_HPP

@@ -1,0 +1,25 @@
+#include "collsched/intra_stage.hpp"
+
+#include <algorithm>
+
+namespace powermove {
+
+std::int64_t
+storageBalance(const Machine &machine, const CollMove &group)
+{
+    return static_cast<std::int64_t>(group.countMoveIns(machine)) -
+           static_cast<std::int64_t>(group.countMoveOuts(machine));
+}
+
+std::vector<CollMove>
+orderCollMoves(const Machine &machine, std::vector<CollMove> groups)
+{
+    std::stable_sort(groups.begin(), groups.end(),
+                     [&machine](const CollMove &a, const CollMove &b) {
+                         return storageBalance(machine, a) >
+                                storageBalance(machine, b);
+                     });
+    return groups;
+}
+
+} // namespace powermove

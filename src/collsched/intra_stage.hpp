@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Intra-stage Coll-Move ordering (paper Sec. 6.1).
+ *
+ * Within one stage transition, Coll-Moves that carry qubits *into* the
+ * storage zone should execute early and Coll-Moves that pull qubits
+ * *out* should execute late, maximizing storage dwell time and hence
+ * minimizing decoherence. Groups are sorted by descending
+ * (move-ins - move-outs); the sort is stable so equal-score groups keep
+ * the router's emission order.
+ */
+
+#ifndef POWERMOVE_COLLSCHED_INTRA_STAGE_HPP
+#define POWERMOVE_COLLSCHED_INTRA_STAGE_HPP
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "route/move.hpp"
+
+namespace powermove {
+
+/** Storage-direction score of a group: move-ins minus move-outs. */
+std::int64_t storageBalance(const Machine &machine, const CollMove &group);
+
+/** Orders Coll-Moves by descending storage balance (stable). */
+std::vector<CollMove> orderCollMoves(const Machine &machine,
+                                     std::vector<CollMove> groups);
+
+} // namespace powermove
+
+#endif // POWERMOVE_COLLSCHED_INTRA_STAGE_HPP

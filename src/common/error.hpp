@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Error types and invariant checks.
+ *
+ * Following the gem5 convention, we distinguish *user* errors (bad input:
+ * malformed QASM, impossible machine configuration) from *internal* errors
+ * (broken invariants, i.e. library bugs). Both are reported as exceptions
+ * since this is a library, not a process: ConfigError/ParseError for user
+ * mistakes and InternalError for panics.
+ */
+
+#ifndef POWERMOVE_COMMON_ERROR_HPP
+#define POWERMOVE_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace powermove {
+
+/** Base class of every exception thrown by the library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** The user supplied an inconsistent or unsupported configuration. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &what) : Error(what) {}
+};
+
+/** An input program could not be parsed. */
+class ParseError : public Error
+{
+  public:
+    ParseError(const std::string &what, std::size_t line, std::size_t column)
+        : Error(formatMessage(what, line, column)), line_(line), column_(column)
+    {}
+
+    /** 1-based source line of the offending token. */
+    std::size_t line() const { return line_; }
+    /** 1-based source column of the offending token. */
+    std::size_t column() const { return column_; }
+
+  private:
+    static std::string
+    formatMessage(const std::string &what, std::size_t line, std::size_t column)
+    {
+        std::ostringstream os;
+        os << "parse error at " << line << ":" << column << ": " << what;
+        return os.str();
+    }
+
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/** A compiled machine schedule violated a hardware rule (validator). */
+class ValidationError : public Error
+{
+  public:
+    explicit ValidationError(const std::string &what) : Error(what) {}
+};
+
+/** A library invariant was broken: this is a PowerMove bug. */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &what) : Error(what) {}
+};
+
+/**
+ * Reports a broken internal invariant (the library's equivalent of gem5's
+ * panic()). Never returns.
+ */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    throw InternalError("internal error: " + message);
+}
+
+/**
+ * Reports an unrecoverable user error (the library's equivalent of gem5's
+ * fatal()). Never returns.
+ */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    throw ConfigError(message);
+}
+
+} // namespace powermove
+
+/**
+ * Checks an internal invariant; throws InternalError when violated. Active
+ * in all build types because compilation correctness depends on it.
+ */
+#define PM_ASSERT(cond, msg)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::powermove::panic(std::string(msg) + " [" #cond "]");            \
+        }                                                                     \
+    } while (false)
+
+#endif // POWERMOVE_COMMON_ERROR_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Grid and physical-plane geometry primitives.
+ *
+ * The machine is modeled as a 2D lattice of trap sites. Site coordinates
+ * are integers in units of the lattice pitch; physical coordinates are in
+ * micrometers. y grows *downwards*: the compute zone occupies the top rows
+ * and the storage zone the bottom rows, so "moving down into storage"
+ * increases y (the paper draws the same layout with the axis flipped).
+ */
+
+#ifndef POWERMOVE_COMMON_GEOMETRY_HPP
+#define POWERMOVE_COMMON_GEOMETRY_HPP
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/units.hpp"
+
+namespace powermove {
+
+/** A site-grid coordinate (integer lattice position). */
+struct SiteCoord
+{
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+
+    constexpr auto operator<=>(const SiteCoord &) const = default;
+};
+
+/** A physical position on the atom plane, in micrometers. */
+struct PhysCoord
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr auto operator<=>(const PhysCoord &) const = default;
+};
+
+/** Euclidean distance between two physical positions. */
+inline Distance
+euclidean(PhysCoord a, PhysCoord b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return Distance::microns(std::sqrt(dx * dx + dy * dy));
+}
+
+/** Manhattan distance between two site coordinates, in pitch units. */
+inline std::int64_t
+manhattan(SiteCoord a, SiteCoord b)
+{
+    return std::int64_t{std::abs(a.x - b.x)} + std::int64_t{std::abs(a.y - b.y)};
+}
+
+/** Chebyshev (L-infinity) distance between two site coordinates. */
+inline std::int64_t
+chebyshev(SiteCoord a, SiteCoord b)
+{
+    return std::max<std::int64_t>(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, SiteCoord c)
+{
+    return os << "(" << c.x << "," << c.y << ")";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, PhysCoord c)
+{
+    return os << "(" << c.x << "um," << c.y << "um)";
+}
+
+} // namespace powermove
+
+template <>
+struct std::hash<powermove::SiteCoord>
+{
+    std::size_t
+    operator()(const powermove::SiteCoord &c) const noexcept
+    {
+        const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x));
+        const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y));
+        return std::hash<std::uint64_t>{}((ux << 32) ^ uy);
+    }
+};
+
+#endif // POWERMOVE_COMMON_GEOMETRY_HPP

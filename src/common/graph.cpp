@@ -1,0 +1,163 @@
+#include "common/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace powermove {
+
+Graph::Graph(std::size_t num_vertices) : adjacency_(num_vertices) {}
+
+bool
+Graph::addEdge(Vertex u, Vertex v)
+{
+    PM_ASSERT(u < adjacency_.size() && v < adjacency_.size(),
+              "edge endpoint out of range");
+    if (u == v || hasEdge(u, v))
+        return false;
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    edge_list_.emplace_back(std::min(u, v), std::max(u, v));
+    ++num_edges_;
+    return true;
+}
+
+bool
+Graph::hasEdge(Vertex u, Vertex v) const
+{
+    PM_ASSERT(u < adjacency_.size() && v < adjacency_.size(),
+              "edge endpoint out of range");
+    const auto &smaller =
+        adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+    const Vertex needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+    return std::find(smaller.begin(), smaller.end(), needle) != smaller.end();
+}
+
+const std::vector<Graph::Vertex> &
+Graph::adjacents(Vertex v) const
+{
+    PM_ASSERT(v < adjacency_.size(), "vertex out of range");
+    return adjacency_[v];
+}
+
+std::size_t
+Graph::maxDegree() const
+{
+    std::size_t best = 0;
+    for (const auto &nbrs : adjacency_)
+        best = std::max(best, nbrs.size());
+    return best;
+}
+
+std::vector<Graph::Vertex>
+verticesByDegreeDesc(const Graph &graph)
+{
+    std::vector<Graph::Vertex> order(graph.numVertices());
+    std::iota(order.begin(), order.end(), Graph::Vertex{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&graph](Graph::Vertex a, Graph::Vertex b) {
+                         return graph.degree(a) > graph.degree(b);
+                     });
+    return order;
+}
+
+std::vector<std::uint32_t>
+greedyColoring(const Graph &graph, const std::vector<Graph::Vertex> &order)
+{
+    PM_ASSERT(order.size() == graph.numVertices(),
+              "coloring order must cover every vertex");
+    constexpr std::uint32_t kUncolored = ~std::uint32_t{0};
+    std::vector<std::uint32_t> color(graph.numVertices(), kUncolored);
+    // Greedy coloring uses at most maxDegree + 1 colors.
+    std::vector<bool> available(graph.maxDegree() + 1, true);
+    for (const auto vertex : order) {
+        std::fill(available.begin(), available.end(), true);
+        for (const auto neighbor : graph.adjacents(vertex)) {
+            const auto c = color[neighbor];
+            if (c != kUncolored && c < available.size())
+                available[c] = false;
+        }
+        for (std::uint32_t c = 0; c < available.size(); ++c) {
+            if (available[c]) {
+                color[vertex] = c;
+                break;
+            }
+        }
+        PM_ASSERT(color[vertex] != kUncolored, "greedy coloring ran out of colors");
+    }
+    return color;
+}
+
+std::uint32_t
+numColors(const std::vector<std::uint32_t> &coloring)
+{
+    std::uint32_t top = 0;
+    for (const auto c : coloring)
+        top = std::max(top, c + 1);
+    return top;
+}
+
+bool
+isProperColoring(const Graph &graph, const std::vector<std::uint32_t> &coloring)
+{
+    if (coloring.size() != graph.numVertices())
+        return false;
+    for (const auto &[u, v] : graph.edges()) {
+        if (coloring[u] == coloring[v])
+            return false;
+    }
+    return true;
+}
+
+Graph
+randomRegularGraph(std::size_t n, std::size_t d, Rng &rng)
+{
+    if (d >= n)
+        fatal("randomRegularGraph: degree must be smaller than vertex count");
+    if ((n * d) % 2 != 0)
+        fatal("randomRegularGraph: n * d must be even");
+
+    constexpr int kMaxAttempts = 1000;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        // Configuration model: pair up n*d stubs uniformly at random and
+        // reject the sample whenever it produces a loop or parallel edge.
+        std::vector<Graph::Vertex> stubs;
+        stubs.reserve(n * d);
+        for (std::size_t v = 0; v < n; ++v) {
+            for (std::size_t k = 0; k < d; ++k)
+                stubs.push_back(static_cast<Graph::Vertex>(v));
+        }
+        rng.shuffle(stubs);
+
+        Graph graph(n);
+        bool ok = true;
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            if (!graph.addEdge(stubs[i], stubs[i + 1])) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return graph;
+    }
+    panic("randomRegularGraph failed to converge; parameters too tight");
+}
+
+Graph
+randomGnp(std::size_t n, double p, Rng &rng)
+{
+    Graph graph(n);
+    for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = u + 1; v < n; ++v) {
+            if (rng.nextBool(p)) {
+                graph.addEdge(static_cast<Graph::Vertex>(u),
+                              static_cast<Graph::Vertex>(v));
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace powermove

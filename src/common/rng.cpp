@@ -1,0 +1,103 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t value, int shift)
+{
+    return (value << shift) | (value >> (64 - shift));
+}
+
+} // namespace
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    PM_ASSERT(bound > 0, "nextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t value = next();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    PM_ASSERT(lo <= hi, "nextInRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    PM_ASSERT(k <= n, "cannot sample more indices than available");
+    // Floyd's algorithm keeps this O(k) in expectation for small k.
+    std::vector<std::size_t> picked;
+    picked.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+        const auto t =
+            static_cast<std::size_t>(nextBelow(static_cast<std::uint64_t>(j + 1)));
+        if (std::find(picked.begin(), picked.end(), t) == picked.end())
+            picked.push_back(t);
+        else
+            picked.push_back(j);
+    }
+    std::sort(picked.begin(), picked.end());
+    return picked;
+}
+
+} // namespace powermove

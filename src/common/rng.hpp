@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generation must be reproducible across runs and platforms, so we
+ * ship our own xoshiro256** generator (public-domain algorithm by Blackman
+ * and Vigna) seeded through SplitMix64 instead of relying on the standard
+ * library's unspecified distributions.
+ */
+
+#ifndef POWERMOVE_COMMON_RNG_HPP
+#define POWERMOVE_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace powermove {
+
+/** SplitMix64 step; used to expand a single seed into generator state. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * A small, fast, deterministic random number generator (xoshiro256**).
+ *
+ * All randomized algorithms in the library take an explicit Rng so that
+ * benchmark circuits and heuristics are reproducible from a single seed.
+ */
+class Rng
+{
+  public:
+    /** Creates a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability p. */
+    bool nextBool(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        if (values.empty())
+            return;
+        for (std::size_t i = values.size() - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::size_t>(nextBelow(static_cast<std::uint64_t>(i + 1)));
+            std::swap(values[i], values[j]);
+        }
+    }
+
+    /** Samples k distinct indices from [0, n) in increasing order. */
+    std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMMON_RNG_HPP

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Strong unit types used throughout the library.
+ *
+ * All wall-clock quantities are carried in microseconds and all lengths in
+ * micrometers, matching the units used by the PowerMove paper (Table 1).
+ * The wrappers are intentionally thin: they exist to make interfaces
+ * self-documenting and to prevent accidental mixing of site-grid
+ * coordinates with physical lengths.
+ */
+
+#ifndef POWERMOVE_COMMON_UNITS_HPP
+#define POWERMOVE_COMMON_UNITS_HPP
+
+#include <compare>
+#include <cstdint>
+
+namespace powermove {
+
+/** A span of wall-clock time, stored in microseconds. */
+class Duration
+{
+  public:
+    constexpr Duration() = default;
+
+    /** Constructs a duration from a value in microseconds. */
+    static constexpr Duration
+    micros(double us)
+    {
+        return Duration(us);
+    }
+
+    /** Constructs a duration from a value in nanoseconds. */
+    static constexpr Duration
+    nanos(double ns)
+    {
+        return Duration(ns * 1e-3);
+    }
+
+    /** Constructs a duration from a value in seconds. */
+    static constexpr Duration
+    seconds(double s)
+    {
+        return Duration(s * 1e6);
+    }
+
+    /** Value in microseconds. */
+    constexpr double micros() const { return us_; }
+    /** Value in seconds. */
+    constexpr double seconds() const { return us_ * 1e-6; }
+
+    constexpr Duration
+    operator+(Duration other) const
+    {
+        return Duration(us_ + other.us_);
+    }
+
+    constexpr Duration
+    operator-(Duration other) const
+    {
+        return Duration(us_ - other.us_);
+    }
+
+    constexpr Duration
+    operator*(double k) const
+    {
+        return Duration(us_ * k);
+    }
+
+    constexpr double
+    operator/(Duration other) const
+    {
+        return us_ / other.us_;
+    }
+
+    constexpr Duration &
+    operator+=(Duration other)
+    {
+        us_ += other.us_;
+        return *this;
+    }
+
+    constexpr Duration &
+    operator-=(Duration other)
+    {
+        us_ -= other.us_;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Duration &) const = default;
+
+  private:
+    explicit constexpr Duration(double us) : us_(us) {}
+
+    double us_ = 0.0;
+};
+
+/** A physical length, stored in micrometers. */
+class Distance
+{
+  public:
+    constexpr Distance() = default;
+
+    /** Constructs a distance from a value in micrometers. */
+    static constexpr Distance
+    microns(double um)
+    {
+        return Distance(um);
+    }
+
+    /** Value in micrometers. */
+    constexpr double microns() const { return um_; }
+
+    constexpr Distance
+    operator+(Distance other) const
+    {
+        return Distance(um_ + other.um_);
+    }
+
+    constexpr Distance
+    operator-(Distance other) const
+    {
+        return Distance(um_ - other.um_);
+    }
+
+    constexpr Distance
+    operator*(double k) const
+    {
+        return Distance(um_ * k);
+    }
+
+    constexpr double
+    operator/(Distance other) const
+    {
+        return um_ / other.um_;
+    }
+
+    constexpr auto operator<=>(const Distance &) const = default;
+
+  private:
+    explicit constexpr Distance(double um) : um_(um) {}
+
+    double um_ = 0.0;
+};
+
+namespace literals {
+
+constexpr Duration operator""_us(long double v)
+{
+    return Duration::micros(static_cast<double>(v));
+}
+
+constexpr Duration operator""_us(unsigned long long v)
+{
+    return Duration::micros(static_cast<double>(v));
+}
+
+constexpr Distance operator""_um(long double v)
+{
+    return Distance::microns(static_cast<double>(v));
+}
+
+constexpr Distance operator""_um(unsigned long long v)
+{
+    return Distance::microns(static_cast<double>(v));
+}
+
+} // namespace literals
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMMON_UNITS_HPP

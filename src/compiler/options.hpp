@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PowerMove compiler configuration.
+ */
+
+#ifndef POWERMOVE_COMPILER_OPTIONS_HPP
+#define POWERMOVE_COMPILER_OPTIONS_HPP
+
+#include <cstdint>
+
+#include "collsched/multi_aod.hpp"
+
+namespace powermove {
+
+/** End-to-end pipeline knobs. */
+struct CompilerOptions
+{
+    /**
+     * Integrate the storage zone (paper's "with-storage" configuration).
+     * When false only the continuous router runs and all qubits live in
+     * the compute zone (paper's "non-storage" rows in Table 3).
+     */
+    bool use_storage = true;
+
+    /** Number of independent AOD arrays (paper Sec. 6.2, Fig. 7). */
+    std::size_t num_aods = 1;
+
+    /** Stage-ordering weight alpha in (0, 1] (paper Sec. 4.2). */
+    double stage_order_alpha = 0.5;
+
+    /** Seed for the router's randomized mobile/static choice. */
+    std::uint64_t seed = 0xC0FFEE;
+
+    /**
+     * Run the Sec. 4.2 stage scheduler. Disabling keeps the raw edge-
+     * coloring order; used by the component ablation benchmarks.
+     */
+    bool reorder_stages = true;
+
+    /**
+     * Run the Sec. 6.1 intra-stage Coll-Move scheduler (move-ins early,
+     * move-outs late). Disabling keeps the grouping order; used by the
+     * component ablation benchmarks.
+     */
+    bool order_coll_moves = true;
+
+    /**
+     * How Coll-Moves are split across AOD arrays: InOrder is the paper's
+     * consecutive chunking; DurationBalanced (extension) sorts groups by
+     * move duration first, trading storage-dwell order for makespan.
+     */
+    AodBatchPolicy aod_batch_policy = AodBatchPolicy::InOrder;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMPILER_OPTIONS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The PowerMove compiler (paper Fig. 1b).
+ *
+ * Pipeline per commutable CZ block:
+ *
+ *   Stage Scheduler  (Sec. 4): edge-coloring stage partition, then
+ *                    zone-aware stage ordering;
+ *   Continuous Router(Sec. 5): direct layout-to-layout transitions —
+ *                    single-qubit movement decisions and distance-aware
+ *                    Coll-Move grouping;
+ *   Coll-Move Scheduler (Sec. 6): storage-dwell-maximizing intra-stage
+ *                    order and multi-AOD parallel batching.
+ *
+ * The initial layout sits entirely in the storage zone (compute zone in
+ * the storage-free configuration) and is never returned to: layouts flow
+ * forward continuously.
+ */
+
+#ifndef POWERMOVE_COMPILER_POWERMOVE_HPP
+#define POWERMOVE_COMPILER_POWERMOVE_HPP
+
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+#include "compiler/options.hpp"
+#include "compiler/result.hpp"
+
+namespace powermove {
+
+/** The zoned-architecture neutral-atom compiler. */
+class PowerMoveCompiler
+{
+  public:
+    /**
+     * @param machine target machine; must outlive the compiler and every
+     *                CompileResult it produces
+     * @param options pipeline configuration
+     */
+    explicit PowerMoveCompiler(const Machine &machine,
+                               CompilerOptions options = {});
+
+    /**
+     * Compiles @p circuit into a machine schedule and evaluates it.
+     * Throws ConfigError if the machine cannot hold the circuit.
+     */
+    CompileResult compile(const Circuit &circuit) const;
+
+    const CompilerOptions &options() const { return options_; }
+    const Machine &machine() const { return machine_; }
+
+  private:
+    const Machine &machine_;
+    CompilerOptions options_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMPILER_POWERMOVE_HPP

@@ -1,0 +1,117 @@
+#include "enola/mis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "route/conflict.hpp"
+
+namespace powermove {
+
+std::vector<std::vector<std::size_t>>
+misPartition(std::size_t count,
+             const std::function<bool(std::size_t, std::size_t)> &conflict)
+{
+    // Dense conflict adjacency matrix, rebuilt degrees every round: the
+    // deliberately heavyweight solver loop the baseline is known for.
+    std::vector<std::vector<bool>> conflicts(count,
+                                             std::vector<bool>(count, false));
+    for (std::size_t i = 0; i < count; ++i) {
+        for (std::size_t j = i + 1; j < count; ++j) {
+            if (conflict(i, j)) {
+                conflicts[i][j] = true;
+                conflicts[j][i] = true;
+            }
+        }
+    }
+
+    std::vector<bool> assigned(count, false);
+    std::size_t remaining = count;
+    std::vector<std::vector<std::size_t>> groups;
+
+    while (remaining > 0) {
+        std::vector<std::size_t> degree(count, 0);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (assigned[i])
+                continue;
+            for (std::size_t j = 0; j < count; ++j) {
+                if (!assigned[j] && conflicts[i][j])
+                    ++degree[i];
+            }
+        }
+        std::vector<std::size_t> order;
+        order.reserve(remaining);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!assigned[i])
+                order.push_back(i);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&degree](std::size_t a, std::size_t b) {
+                             return degree[a] < degree[b];
+                         });
+
+        std::vector<std::size_t> chosen;
+        for (const std::size_t candidate : order) {
+            const bool independent = std::none_of(
+                chosen.begin(), chosen.end(), [&](std::size_t member) {
+                    return conflicts[candidate][member];
+                });
+            if (independent)
+                chosen.push_back(candidate);
+        }
+        PM_ASSERT(!chosen.empty(), "MIS extraction stalled");
+        for (const std::size_t member : chosen) {
+            assigned[member] = true;
+            --remaining;
+        }
+        groups.push_back(std::move(chosen));
+    }
+    return groups;
+}
+
+std::vector<Stage>
+partitionStagesByMis(const CzBlock &block, std::size_t num_qubits)
+{
+    if (block.gates.empty())
+        return {};
+    const auto share_qubit = [&](std::size_t i, std::size_t j) {
+        const auto &a = block.gates[i];
+        const auto &b = block.gates[j];
+        return a.touches(b.a) || a.touches(b.b);
+    };
+    const auto groups = misPartition(block.gates.size(), share_qubit);
+
+    std::vector<Stage> stages;
+    stages.reserve(groups.size());
+    for (const auto &group : groups) {
+        Stage stage;
+        stage.gates.reserve(group.size());
+        for (const std::size_t g : group)
+            stage.gates.push_back(block.gates[g]);
+        PM_ASSERT(stage.qubitsDisjoint(), "MIS stage has overlapping qubits");
+        stages.push_back(std::move(stage));
+    }
+    (void)num_qubits;
+    return stages;
+}
+
+std::vector<CollMove>
+groupMovesByMis(const Machine &machine, const std::vector<QubitMove> &moves)
+{
+    const auto conflict = [&](std::size_t i, std::size_t j) {
+        return movesConflict(machine, moves[i], moves[j]);
+    };
+    const auto groups = misPartition(moves.size(), conflict);
+
+    std::vector<CollMove> result;
+    result.reserve(groups.size());
+    for (const auto &group : groups) {
+        CollMove coll;
+        coll.moves.reserve(group.size());
+        for (const std::size_t m : group)
+            coll.moves.push_back(moves[m]);
+        result.push_back(std::move(coll));
+    }
+    return result;
+}
+
+} // namespace powermove

@@ -1,0 +1,109 @@
+#include "enola/placement.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+namespace {
+
+/** Collects every CZ gate of the circuit, across all blocks. */
+std::vector<CzGate>
+allGates(const Circuit &circuit)
+{
+    std::vector<CzGate> gates;
+    gates.reserve(circuit.numCzGates());
+    for (const auto *block : circuit.blocks())
+        gates.insert(gates.end(), block->gates.begin(), block->gates.end());
+    return gates;
+}
+
+} // namespace
+
+double
+placementCost(const Machine &machine, const Circuit &circuit,
+              const std::vector<SiteId> &home)
+{
+    double cost = 0.0;
+    for (const auto *block : circuit.blocks()) {
+        for (const auto &gate : block->gates)
+            cost += machine.distanceBetween(home[gate.a], home[gate.b]).microns();
+    }
+    return cost;
+}
+
+std::vector<SiteId>
+annealPlacement(const Machine &machine, const Circuit &circuit, Rng &rng,
+                const PlacementOptions &options)
+{
+    const std::size_t num_qubits = circuit.numQubits();
+    if (num_qubits > machine.numComputeSites())
+        fatal("compute zone too small for the Enola home placement");
+
+    // Row-major start; site_holder maps compute site -> qubit (or none).
+    std::vector<SiteId> home(num_qubits);
+    std::vector<QubitId> site_holder(machine.numComputeSites(), kNoQubit);
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        home[q] = static_cast<SiteId>(q);
+        site_holder[q] = q;
+    }
+
+    // Per-qubit gate adjacency for O(degree) cost deltas.
+    std::vector<std::vector<QubitId>> neighbors(num_qubits);
+    for (const auto &gate : allGates(circuit)) {
+        neighbors[gate.a].push_back(gate.b);
+        neighbors[gate.b].push_back(gate.a);
+    }
+
+    const auto qubit_cost = [&](QubitId q, SiteId at) {
+        double cost = 0.0;
+        for (const QubitId other : neighbors[q])
+            cost += machine.distanceBetween(at, home[other]).microns();
+        return cost;
+    };
+
+    double temperature = options.initial_temperature;
+    const auto num_sites =
+        static_cast<std::uint64_t>(machine.numComputeSites());
+    for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+        const auto q = static_cast<QubitId>(
+            rng.nextBelow(static_cast<std::uint64_t>(num_qubits)));
+        const auto dest = static_cast<SiteId>(rng.nextBelow(num_sites));
+        const SiteId from = home[q];
+        if (dest == from)
+            continue;
+        const QubitId displaced = site_holder[dest];
+
+        double delta;
+        if (displaced == kNoQubit) {
+            delta = qubit_cost(q, dest) - qubit_cost(q, from);
+        } else {
+            const double before =
+                qubit_cost(q, from) + qubit_cost(displaced, dest);
+            // Evaluate after-state with both homes tentatively swapped.
+            home[q] = dest;
+            home[displaced] = from;
+            const double after =
+                qubit_cost(q, dest) + qubit_cost(displaced, from);
+            home[q] = from;
+            home[displaced] = dest;
+            delta = after - before;
+        }
+
+        const bool accept =
+            delta <= 0.0 ||
+            rng.nextDouble() < std::exp(-delta / std::max(temperature, 1e-9));
+        if (accept) {
+            home[q] = dest;
+            site_holder[from] = displaced;
+            site_holder[dest] = q;
+            if (displaced != kNoQubit)
+                home[displaced] = from;
+        }
+        temperature *= options.cooling;
+    }
+    return home;
+}
+
+} // namespace powermove

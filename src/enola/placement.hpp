@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulated-annealing home placement for the Enola baseline.
+ *
+ * Enola keeps a fixed "home" layout in the compute zone and returns to
+ * it after every stage (paper Sec. 3.1). Its placement step searches for
+ * homes minimizing the total movement the gate list induces; we model it
+ * as simulated annealing over home swaps with the classic objective
+ * sum over CZ gates of the physical distance between the endpoints'
+ * homes.
+ */
+
+#ifndef POWERMOVE_ENOLA_PLACEMENT_HPP
+#define POWERMOVE_ENOLA_PLACEMENT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace powermove {
+
+/** Annealing schedule knobs. */
+struct PlacementOptions
+{
+    /** Proposed swaps. */
+    std::size_t iterations = 20000;
+    /** Initial temperature, in micrometers of cost. */
+    double initial_temperature = 60.0;
+    /** Geometric cooling factor applied each iteration. */
+    double cooling = 0.9995;
+};
+
+/** Total home-distance cost of a placement. */
+double placementCost(const Machine &machine, const Circuit &circuit,
+                     const std::vector<SiteId> &home);
+
+/**
+ * Anneals a compute-zone home placement for @p circuit. Starts from the
+ * row-major layout and proposes swaps of two qubit homes or moves into
+ * free compute sites.
+ *
+ * @return one home site per qubit (all distinct, all in the compute zone).
+ */
+std::vector<SiteId> annealPlacement(const Machine &machine,
+                                    const Circuit &circuit, Rng &rng,
+                                    const PlacementOptions &options = {});
+
+} // namespace powermove
+
+#endif // POWERMOVE_ENOLA_PLACEMENT_HPP

@@ -1,0 +1,33 @@
+#include "fidelity/breakdown.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace powermove {
+
+double
+FidelityBreakdown::fidelity(bool include_one_q) const
+{
+    double product = two_q_factor * excitation_factor * transfer_factor *
+                     decoherence_factor;
+    if (include_one_q)
+        product *= one_q_factor;
+    return product;
+}
+
+std::string
+FidelityBreakdown::toString() const
+{
+    std::ostringstream os;
+    os << "fidelity=" << formatFidelity(fidelity())
+       << " (2q=" << formatFidelity(two_q_factor)
+       << " exc=" << formatFidelity(excitation_factor)
+       << " trans=" << formatFidelity(transfer_factor)
+       << " deco=" << formatFidelity(decoherence_factor) << ")"
+       << " T_exe=" << formatGeneral(exec_time.micros(), 6) << "us"
+       << " pulses=" << pulses << " transfers=" << transfers;
+    return os.str();
+}
+
+} // namespace powermove

@@ -1,0 +1,95 @@
+#include "fidelity/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+double
+ScheduleTrace::storageUtilization() const
+{
+    if (storage_dwell.empty() || total.micros() <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &dwell : storage_dwell)
+        sum += dwell / total;
+    return sum / static_cast<double>(storage_dwell.size());
+}
+
+double
+ScheduleTrace::movementShare() const
+{
+    if (total.micros() <= 0.0)
+        return 0.0;
+    return moving / total;
+}
+
+ScheduleTrace
+traceSchedule(const MachineSchedule &schedule)
+{
+    const Machine &machine = schedule.machine();
+    const HardwareParams &params = machine.params();
+    const std::size_t num_qubits = schedule.numQubits();
+
+    ScheduleTrace trace;
+    trace.storage_dwell.assign(num_qubits, Duration::micros(0.0));
+
+    std::vector<SiteId> positions = schedule.initialSites();
+    Duration clock = Duration::micros(0.0);
+
+    const auto credit_storage = [&](Duration span) {
+        for (QubitId q = 0; q < num_qubits; ++q) {
+            if (machine.zoneOf(positions[q]) == ZoneKind::Storage)
+                trace.storage_dwell[q] += span;
+        }
+    };
+
+    for (const auto &instruction : schedule.instructions()) {
+        InstructionTrace entry;
+        entry.start = clock;
+        if (const auto *layer = std::get_if<OneQLayerOp>(&instruction)) {
+            entry.kind = TraceKind::OneQ;
+            entry.duration =
+                params.t_one_q * static_cast<double>(layer->depth);
+            entry.involved = layer->gate_count;
+            credit_storage(entry.duration);
+        } else if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            entry.kind = TraceKind::Move;
+            entry.duration = op->batch.duration(machine);
+            entry.involved = op->batch.numMoves();
+            trace.moving += entry.duration;
+            trace.max_batch_moves =
+                std::max(trace.max_batch_moves, entry.involved);
+            // Movers in transit are not stored; stationary qubits keep
+            // their zone for the whole batch.
+            credit_storage(entry.duration);
+            for (const auto &group : op->batch.groups) {
+                for (const auto &move : group.moves) {
+                    PM_ASSERT(positions[move.qubit] == move.from,
+                              "trace replay diverged from schedule");
+                    trace.total_move_distance =
+                        trace.total_move_distance +
+                        machine.distanceBetween(move.from, move.to);
+                    // Subtract transit credit when departing storage.
+                    if (machine.zoneOf(move.from) == ZoneKind::Storage) {
+                        trace.storage_dwell[move.qubit] -= entry.duration;
+                    }
+                    positions[move.qubit] = move.to;
+                }
+            }
+        } else {
+            const auto &pulse = std::get<RydbergOp>(instruction);
+            entry.kind = TraceKind::Rydberg;
+            entry.duration = params.t_cz;
+            entry.involved = pulse.gates.size() * 2;
+            credit_storage(entry.duration);
+        }
+        clock += entry.duration;
+        trace.instructions.push_back(entry);
+    }
+    trace.total = clock;
+    return trace;
+}
+
+} // namespace powermove

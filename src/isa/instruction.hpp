@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The low-level neutral-atom instruction set.
+ *
+ * A compiled program is a sequence of three operation kinds:
+ *
+ *  - OneQLayerOp: one layer of parallel Raman single-qubit gates; wall
+ *    time is depth * t_1q where depth is the longest per-qubit gate chain
+ *    in the layer.
+ *  - MoveBatchOp: one parallel AOD batch — up to #AOD Coll-Moves running
+ *    simultaneously, each a conflict-free set of 1Q relocations; wall
+ *    time is 2 * t_transfer + the slowest member move.
+ *  - RydbergOp: one global Rydberg pulse executing all CZ gates of one
+ *    stage on the co-located pairs.
+ */
+
+#ifndef POWERMOVE_ISA_INSTRUCTION_HPP
+#define POWERMOVE_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "collsched/multi_aod.hpp"
+
+namespace powermove {
+
+/** A layer of parallel single-qubit gates. */
+struct OneQLayerOp
+{
+    /** Total gates in the layer (fidelity accounting). */
+    std::size_t gate_count = 0;
+    /** Longest per-qubit chain (wall-time accounting). */
+    std::size_t depth = 0;
+};
+
+/** One parallel AOD movement batch. */
+struct MoveBatchOp
+{
+    AodBatch batch;
+};
+
+/** One global Rydberg pulse executing a stage. */
+struct RydbergOp
+{
+    std::vector<CzGate> gates;
+    /** Index of the commutable CZ block this stage came from. */
+    std::size_t block_index = 0;
+};
+
+/** Any machine operation. */
+using Instruction = std::variant<OneQLayerOp, MoveBatchOp, RydbergOp>;
+
+} // namespace powermove
+
+#endif // POWERMOVE_ISA_INSTRUCTION_HPP

@@ -1,0 +1,86 @@
+#include "isa/json.hpp"
+
+#include <sstream>
+
+namespace powermove {
+
+namespace {
+
+void
+emitCoord(std::ostringstream &os, SiteCoord coord)
+{
+    os << "[" << coord.x << "," << coord.y << "]";
+}
+
+} // namespace
+
+std::string
+scheduleToJson(const MachineSchedule &schedule)
+{
+    const Machine &machine = schedule.machine();
+    const auto &config = machine.config();
+    std::ostringstream os;
+
+    os << "{\n";
+    os << "  \"machine\": {\"compute\": [" << config.compute_cols << ","
+       << config.compute_rows << "], \"storage\": [" << config.storage_cols
+       << "," << config.storage_rows << "], \"gap_rows\": "
+       << config.gap_rows << ", \"pitch_um\": "
+       << config.params.site_pitch.microns() << "},\n";
+    os << "  \"qubits\": " << schedule.numQubits() << ",\n";
+
+    os << "  \"initial_sites\": [";
+    for (std::size_t q = 0; q < schedule.initialSites().size(); ++q) {
+        if (q > 0)
+            os << ",";
+        emitCoord(os, machine.coordOf(schedule.initialSites()[q]));
+    }
+    os << "],\n";
+
+    os << "  \"instructions\": [\n";
+    bool first = true;
+    for (const auto &instruction : schedule.instructions()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    ";
+        if (const auto *layer = std::get_if<OneQLayerOp>(&instruction)) {
+            os << "{\"op\": \"1q\", \"gates\": " << layer->gate_count
+               << ", \"depth\": " << layer->depth << "}";
+        } else if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            os << "{\"op\": \"move\", \"groups\": [";
+            for (std::size_t g = 0; g < op->batch.groups.size(); ++g) {
+                if (g > 0)
+                    os << ",";
+                os << "[";
+                const auto &moves = op->batch.groups[g].moves;
+                for (std::size_t m = 0; m < moves.size(); ++m) {
+                    if (m > 0)
+                        os << ",";
+                    os << "{\"q\": " << moves[m].qubit << ", \"from\": ";
+                    emitCoord(os, machine.coordOf(moves[m].from));
+                    os << ", \"to\": ";
+                    emitCoord(os, machine.coordOf(moves[m].to));
+                    os << "}";
+                }
+                os << "]";
+            }
+            os << "]}";
+        } else {
+            const auto &pulse = std::get<RydbergOp>(instruction);
+            os << "{\"op\": \"rydberg\", \"block\": " << pulse.block_index
+               << ", \"gates\": [";
+            for (std::size_t g = 0; g < pulse.gates.size(); ++g) {
+                if (g > 0)
+                    os << ",";
+                os << "[" << pulse.gates[g].a << "," << pulse.gates[g].b
+                   << "]";
+            }
+            os << "]}";
+        }
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace powermove

@@ -1,0 +1,46 @@
+#include "isa/machine_schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+MachineSchedule::MachineSchedule(const Machine &machine,
+                                 std::vector<SiteId> initial_sites)
+    : machine_(&machine), initial_sites_(std::move(initial_sites))
+{
+    for (const SiteId site : initial_sites_)
+        PM_ASSERT(site < machine.numSites(), "initial site out of range");
+}
+
+void
+MachineSchedule::addOneQLayer(std::size_t gate_count, std::size_t depth)
+{
+    if (gate_count == 0)
+        return;
+    PM_ASSERT(depth > 0 && depth <= gate_count,
+              "1Q layer depth must lie in [1, gate_count]");
+    instructions_.emplace_back(OneQLayerOp{gate_count, depth});
+    num_one_q_ += gate_count;
+}
+
+void
+MachineSchedule::addMoveBatch(AodBatch batch)
+{
+    const std::size_t moved = batch.numMoves();
+    if (moved == 0)
+        return;
+    num_qubit_moves_ += moved;
+    ++num_batches_;
+    instructions_.emplace_back(MoveBatchOp{std::move(batch)});
+}
+
+void
+MachineSchedule::addRydberg(std::vector<CzGate> gates, std::size_t block)
+{
+    PM_ASSERT(!gates.empty(), "a Rydberg pulse needs at least one gate");
+    num_cz_ += gates.size();
+    ++num_pulses_;
+    instructions_.emplace_back(RydbergOp{std::move(gates), block});
+}
+
+} // namespace powermove

@@ -1,0 +1,58 @@
+#include "isa/printer.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace powermove {
+
+std::string
+formatSchedule(const MachineSchedule &schedule, std::size_t max_instructions)
+{
+    const Machine &machine = schedule.machine();
+    std::ostringstream os;
+    os << "machine-schedule: " << schedule.numQubits() << " qubits, "
+       << schedule.instructions().size() << " instructions, "
+       << schedule.numPulses() << " pulses, " << schedule.numQubitMoves()
+       << " moves\n";
+
+    std::size_t index = 0;
+    for (const auto &instruction : schedule.instructions()) {
+        if (max_instructions != 0 && index >= max_instructions) {
+            os << "  ... ("
+               << schedule.instructions().size() - max_instructions
+               << " more)\n";
+            break;
+        }
+        os << "  [" << index << "] ";
+        if (const auto *layer = std::get_if<OneQLayerOp>(&instruction)) {
+            os << "1q-layer   gates=" << layer->gate_count
+               << " depth=" << layer->depth << "\n";
+        } else if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            os << "move-batch aods=" << op->batch.groups.size() << " t="
+               << formatGeneral(op->batch.duration(machine).micros(), 4)
+               << "us\n";
+            for (std::size_t g = 0; g < op->batch.groups.size(); ++g) {
+                os << "        aod" << g << ":";
+                for (const auto &move : op->batch.groups[g].moves) {
+                    os << " q" << move.qubit
+                       << machine.coordOf(move.from) << "->"
+                       << machine.coordOf(move.to);
+                }
+                os << "\n";
+            }
+        } else {
+            const auto &pulse = std::get<RydbergOp>(instruction);
+            os << "rydberg    block=" << pulse.block_index << " gates=";
+            for (std::size_t g = 0; g < pulse.gates.size(); ++g) {
+                os << (g == 0 ? "" : ",") << "(" << pulse.gates[g].a << ","
+                   << pulse.gates[g].b << ")";
+            }
+            os << "\n";
+        }
+        ++index;
+    }
+    return os.str();
+}
+
+} // namespace powermove

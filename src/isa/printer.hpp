@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable rendering of machine schedules.
+ */
+
+#ifndef POWERMOVE_ISA_PRINTER_HPP
+#define POWERMOVE_ISA_PRINTER_HPP
+
+#include <string>
+
+#include "isa/machine_schedule.hpp"
+
+namespace powermove {
+
+/**
+ * Renders the instruction stream as indented text, one line per
+ * operation (movement batches list their per-AOD Coll-Moves).
+ *
+ * @param schedule         the program to print
+ * @param max_instructions truncate after this many instructions
+ *                         (0 = no limit)
+ */
+std::string formatSchedule(const MachineSchedule &schedule,
+                           std::size_t max_instructions = 0);
+
+} // namespace powermove
+
+#endif // POWERMOVE_ISA_PRINTER_HPP

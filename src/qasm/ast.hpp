@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Abstract syntax tree of the OpenQASM 2.0 frontend.
+ */
+
+#ifndef POWERMOVE_QASM_AST_HPP
+#define POWERMOVE_QASM_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace powermove::qasm {
+
+/** Parameter-expression node kinds. */
+enum class ExprKind : std::uint8_t
+{
+    Number,
+    Pi,
+    Parameter, // formal parameter of a gate body
+    Unary,     // negation
+    Binary,    // + - * / ^
+    Call,      // sin cos tan exp ln sqrt
+};
+
+/** A parameter expression (angles etc.). */
+struct Expr
+{
+    ExprKind kind = ExprKind::Number;
+    double number = 0.0;          // Number
+    std::string name;             // Parameter / Call
+    char op = '+';                // Binary
+    std::vector<Expr> children;   // Unary(1) / Binary(2) / Call(1)
+};
+
+/** A quantum argument: register name plus optional element index. */
+struct QuantumArg
+{
+    std::string reg;
+    std::optional<std::size_t> index; // nullopt = whole-register broadcast
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+/** qreg / creg declaration. */
+struct RegDecl
+{
+    std::string name;
+    std::size_t size = 0;
+    bool quantum = true;
+};
+
+/** An invocation of a builtin or user-defined gate. */
+struct GateCall
+{
+    std::string name;
+    std::vector<Expr> params;
+    std::vector<QuantumArg> args;
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+/** A user gate definition (body restricted to gate calls and barriers). */
+struct GateDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<std::string> qubits;
+    std::vector<GateCall> body; // "barrier" encoded as a call named barrier
+};
+
+/** measure src -> dst. */
+struct MeasureStmt
+{
+    QuantumArg source;
+    std::string target_reg;
+};
+
+/** barrier over arguments (arguments are informational only). */
+struct BarrierStmt
+{
+    std::vector<QuantumArg> args;
+};
+
+/** Any top-level statement. */
+using Statement =
+    std::variant<RegDecl, GateDecl, GateCall, MeasureStmt, BarrierStmt>;
+
+/** A parsed OpenQASM 2.0 program. */
+struct Program
+{
+    std::string version = "2.0";
+    std::vector<std::string> includes;
+    std::vector<Statement> statements;
+};
+
+} // namespace powermove::qasm
+
+#endif // POWERMOVE_QASM_AST_HPP

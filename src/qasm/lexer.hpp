@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The OpenQASM 2.0 lexer.
+ *
+ * Handles line comments (// ...), both integer and real literals
+ * (including exponent notation), string literals for include paths, and
+ * the keyword set of the OpenQASM 2.0 grammar. Unknown characters raise
+ * ParseError with a 1-based line/column position.
+ */
+
+#ifndef POWERMOVE_QASM_LEXER_HPP
+#define POWERMOVE_QASM_LEXER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "qasm/token.hpp"
+
+namespace powermove::qasm {
+
+/** Tokenizes an entire source buffer (appends an EndOfFile token). */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace powermove::qasm
+
+#endif // POWERMOVE_QASM_LEXER_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lexical tokens of the OpenQASM 2.0 frontend.
+ */
+
+#ifndef POWERMOVE_QASM_TOKEN_HPP
+#define POWERMOVE_QASM_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace powermove::qasm {
+
+/** Token kinds of the OpenQASM 2.0 grammar subset we accept. */
+enum class TokenKind : std::uint8_t
+{
+    Identifier,
+    Real,       // 3.14, 1e-3
+    Integer,    // 42
+    String,     // "qelib1.inc"
+    // Keywords
+    KwOpenQasm, // OPENQASM
+    KwInclude,
+    KwQreg,
+    KwCreg,
+    KwGate,
+    KwMeasure,
+    KwBarrier,
+    KwReset,
+    KwIf,
+    KwPi,
+    // Punctuation and operators
+    Semicolon,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Arrow, // ->
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    EqualEqual,
+    EndOfFile,
+};
+
+/** Human-readable token-kind name for diagnostics. */
+std::string tokenKindName(TokenKind kind);
+
+/** One lexed token with its source position (1-based). */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    double number = 0.0; // value for Real/Integer
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+} // namespace powermove::qasm
+
+#endif // POWERMOVE_QASM_TOKEN_HPP

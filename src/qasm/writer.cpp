@@ -1,0 +1,48 @@
+#include "qasm/writer.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace powermove::qasm {
+
+std::string
+writeQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    // Full round-trip precision for rotation angles.
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "// " << circuit.name() << "\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+
+    bool previous_was_block = false;
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *layer = std::get_if<OneQLayer>(&moment)) {
+            previous_was_block = false;
+            for (const auto &gate : layer->gates) {
+                if (gate.kind == OneQKind::U) {
+                    // Generic pulse: emit as u3 with the stored theta.
+                    os << "u3(" << gate.angle << ",0,0) q[" << gate.qubit
+                       << "];\n";
+                    continue;
+                }
+                os << oneQKindName(gate.kind);
+                if (oneQKindHasAngle(gate.kind))
+                    os << "(" << gate.angle << ")";
+                os << " q[" << gate.qubit << "];\n";
+            }
+        } else {
+            // Adjacent blocks (created via barrier()) need an explicit
+            // barrier to survive a round trip.
+            if (previous_was_block)
+                os << "barrier q;\n";
+            previous_was_block = true;
+            for (const auto &gate : std::get<CzBlock>(moment).gates)
+                os << "cz q[" << gate.a << "],q[" << gate.b << "];\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace powermove::qasm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * OpenQASM 2.0 emission from the circuit IR.
+ *
+ * Emits the circuit in moment order using native gates only (1Q alphabet
+ * plus cz), so writer output re-parses into an equivalent circuit — the
+ * round-trip property the QASM tests rely on.
+ */
+
+#ifndef POWERMOVE_QASM_WRITER_HPP
+#define POWERMOVE_QASM_WRITER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove::qasm {
+
+/** Serializes @p circuit as OpenQASM 2.0. */
+std::string writeQasm(const Circuit &circuit);
+
+} // namespace powermove::qasm
+
+#endif // POWERMOVE_QASM_WRITER_HPP

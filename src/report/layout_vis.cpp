@@ -1,0 +1,70 @@
+#include "report/layout_vis.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+std::string
+renderPositions(const Machine &machine, const std::vector<SiteId> &positions)
+{
+    // Occupancy per site.
+    std::vector<std::vector<QubitId>> occupants(machine.numSites());
+    for (QubitId q = 0; q < positions.size(); ++q) {
+        PM_ASSERT(positions[q] < machine.numSites(),
+                  "position outside the machine");
+        occupants[positions[q]].push_back(q);
+    }
+
+    const auto &config = machine.config();
+    const std::int32_t total_rows =
+        machine.storageTopRow() + config.storage_rows;
+
+    std::ostringstream os;
+    for (std::int32_t y = 0; y < total_rows; ++y) {
+        const bool compute_row = y < config.compute_rows;
+        const bool gap_row = !compute_row && y < machine.storageTopRow();
+        const std::int32_t cols =
+            compute_row ? config.compute_cols : config.storage_cols;
+
+        if (y == 0)
+            os << "compute  ";
+        else if (y == machine.storageTopRow())
+            os << "storage  ";
+        else
+            os << "         ";
+
+        if (gap_row) {
+            os << "~\n";
+            continue;
+        }
+        for (std::int32_t x = 0; x < cols; ++x) {
+            const SiteId site = machine.siteAt(SiteCoord{x, y});
+            const auto &holders = occupants[site];
+            if (holders.empty())
+                os << '.';
+            else if (holders.size() == 1)
+                os << static_cast<char>('0' + holders[0] % 10);
+            else
+                os << '@';
+            os << ' ';
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderLayout(const Layout &layout)
+{
+    std::vector<SiteId> positions(layout.numQubits());
+    for (QubitId q = 0; q < layout.numQubits(); ++q) {
+        PM_ASSERT(layout.siteOf(q) != kInvalidSite,
+                  "cannot render a layout with unplaced qubits");
+        positions[q] = layout.siteOf(q);
+    }
+    return renderPositions(layout.machine(), positions);
+}
+
+} // namespace powermove

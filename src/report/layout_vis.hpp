@@ -1,0 +1,31 @@
+/**
+ * @file
+ * ASCII visualization of the zoned lattice.
+ *
+ * Renders the compute zone, the inter-zone gap, and the storage zone as
+ * a character grid: '.' empty site, a qubit id digit (mod 10) for single
+ * occupancy, '@' for an interacting pair. Invaluable when debugging
+ * router decisions and for teaching the zoned-architecture layout flow.
+ */
+
+#ifndef POWERMOVE_REPORT_LAYOUT_VIS_HPP
+#define POWERMOVE_REPORT_LAYOUT_VIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+
+namespace powermove {
+
+/** Renders the current occupancy of @p layout. */
+std::string renderLayout(const Layout &layout);
+
+/** Renders an explicit per-qubit position assignment. */
+std::string renderPositions(const Machine &machine,
+                            const std::vector<SiteId> &positions);
+
+} // namespace powermove
+
+#endif // POWERMOVE_REPORT_LAYOUT_VIS_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fixed-width text tables for the benchmark harnesses.
+ *
+ * The Table 3 / Fig. 6 / Fig. 7 harnesses print the same rows and series
+ * the paper reports; this widget renders them as aligned ASCII and CSV.
+ */
+
+#ifndef POWERMOVE_REPORT_TABLE_HPP
+#define POWERMOVE_REPORT_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace powermove {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numColumns() const { return headers_.size(); }
+
+    /** Renders with aligned columns and a header rule. */
+    std::string toString() const;
+
+    /** Renders as comma-separated values (quoted where needed). */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_REPORT_TABLE_HPP

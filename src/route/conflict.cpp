@@ -1,0 +1,55 @@
+#include "route/conflict.hpp"
+
+namespace powermove {
+
+namespace {
+
+int
+sign(std::int32_t value)
+{
+    return (value > 0) - (value < 0);
+}
+
+} // namespace
+
+bool
+movesConflict(const Machine &machine, const QubitMove &m1, const QubitMove &m2)
+{
+    const SiteCoord s1 = machine.coordOf(m1.from);
+    const SiteCoord e1 = machine.coordOf(m1.to);
+    const SiteCoord s2 = machine.coordOf(m2.from);
+    const SiteCoord e2 = machine.coordOf(m2.to);
+
+    // Column order must be preserved exactly (no crossing, no merging,
+    // no splitting of co-located columns) and likewise for rows.
+    if (sign(s1.x - s2.x) != sign(e1.x - e2.x))
+        return true;
+    if (sign(s1.y - s2.y) != sign(e1.y - e2.y))
+        return true;
+    return false;
+}
+
+bool
+conflictsWithGroup(const Machine &machine, const CollMove &group,
+                   const QubitMove &candidate)
+{
+    for (const auto &member : group.moves) {
+        if (movesConflict(machine, member, candidate))
+            return true;
+    }
+    return false;
+}
+
+bool
+isValidCollMove(const Machine &machine, const CollMove &group)
+{
+    for (std::size_t i = 0; i < group.moves.size(); ++i) {
+        for (std::size_t j = i + 1; j < group.moves.size(); ++j) {
+            if (movesConflict(machine, group.moves[i], group.moves[j]))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace powermove

@@ -1,0 +1,37 @@
+#include "route/grouping.hpp"
+
+#include <algorithm>
+
+#include "route/conflict.hpp"
+
+namespace powermove {
+
+std::vector<CollMove>
+groupMoves(const Machine &machine, std::vector<QubitMove> moves)
+{
+    std::sort(moves.begin(), moves.end(),
+              [&machine](const QubitMove &a, const QubitMove &b) {
+                  const auto da = machine.distanceBetween(a.from, a.to);
+                  const auto db = machine.distanceBetween(b.from, b.to);
+                  if (da != db)
+                      return da < db;
+                  return a.qubit < b.qubit;
+              });
+
+    std::vector<CollMove> groups;
+    for (const auto &move : moves) {
+        bool assigned = false;
+        for (auto &group : groups) {
+            if (!conflictsWithGroup(machine, group, move)) {
+                group.moves.push_back(move);
+                assigned = true;
+                break;
+            }
+        }
+        if (!assigned)
+            groups.push_back(CollMove{{move}});
+    }
+    return groups;
+}
+
+} // namespace powermove

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Distance-aware collective-movement grouping (paper Sec. 5.3).
+ *
+ * The 1Q moves of one stage transition are packed into Coll-Moves, each
+ * executable by a single AOD array. Moves are considered in ascending
+ * distance order and greedily appended to the first group they do not
+ * conflict with (first-fit). Processing by distance clusters moves of
+ * similar length, which suppresses the per-group maximum distance — and
+ * with it the group's wall time, since a Coll-Move takes as long as its
+ * longest member.
+ */
+
+#ifndef POWERMOVE_ROUTE_GROUPING_HPP
+#define POWERMOVE_ROUTE_GROUPING_HPP
+
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "route/move.hpp"
+
+namespace powermove {
+
+/**
+ * Groups @p moves into AOD-compatible Coll-Moves (first-fit over moves
+ * sorted by ascending distance; deterministic tie-break on qubit id).
+ */
+std::vector<CollMove> groupMoves(const Machine &machine,
+                                 std::vector<QubitMove> moves);
+
+} // namespace powermove
+
+#endif // POWERMOVE_ROUTE_GROUPING_HPP

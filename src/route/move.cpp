@@ -1,0 +1,40 @@
+#include "route/move.hpp"
+
+namespace powermove {
+
+Distance
+CollMove::maxDistance(const Machine &machine) const
+{
+    Distance longest = Distance::microns(0.0);
+    for (const auto &move : moves)
+        longest = std::max(longest, machine.distanceBetween(move.from, move.to));
+    return longest;
+}
+
+std::size_t
+CollMove::countMoveIns(const Machine &machine) const
+{
+    std::size_t count = 0;
+    for (const auto &move : moves) {
+        if (machine.zoneOf(move.from) == ZoneKind::Compute &&
+            machine.zoneOf(move.to) == ZoneKind::Storage) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t
+CollMove::countMoveOuts(const Machine &machine) const
+{
+    std::size_t count = 0;
+    for (const auto &move : moves) {
+        if (machine.zoneOf(move.from) == ZoneKind::Storage &&
+            machine.zoneOf(move.to) == ZoneKind::Compute) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace powermove

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Movement primitives shared by the router and the schedulers.
+ */
+
+#ifndef POWERMOVE_ROUTE_MOVE_HPP
+#define POWERMOVE_ROUTE_MOVE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "circuit/gate.hpp"
+
+namespace powermove {
+
+/** The router's per-qubit decision for a stage transition (Sec. 5.2). */
+enum class MoveLabel : std::uint8_t
+{
+    /** Stays at its current site, waiting for a partner to arrive. */
+    Static,
+    /** Moves to an already-known target site. */
+    Mobile,
+    /** Must move, destination resolved later (step 3). */
+    Undecided,
+};
+
+/** A single-qubit relocation between two sites. */
+struct QubitMove
+{
+    QubitId qubit = 0;
+    SiteId from = kInvalidSite;
+    SiteId to = kInvalidSite;
+
+    auto operator<=>(const QubitMove &) const = default;
+};
+
+/**
+ * A collective movement: 1Q moves executable simultaneously by a single
+ * AOD array (pairwise conflict-free, Sec. 5.3).
+ */
+struct CollMove
+{
+    std::vector<QubitMove> moves;
+
+    /** Longest member distance; determines the move's wall time. */
+    Distance maxDistance(const Machine &machine) const;
+
+    /** Members ending in the storage zone. */
+    std::size_t countMoveIns(const Machine &machine) const;
+
+    /** Members leaving the storage zone. */
+    std::size_t countMoveOuts(const Machine &machine) const;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_ROUTE_MOVE_HPP

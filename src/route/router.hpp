@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The Continuous Router (paper Sec. 5).
+ *
+ * Instead of reverting to a fixed home layout between Rydberg stages (as
+ * Enola does), the continuous router transitions the current layout
+ * *directly* into a layout executing the next stage. For one transition
+ * it decides a single 1Q move per affected qubit:
+ *
+ *  - Step 1: qubits idle in the next stage are parked in the storage
+ *    zone, farthest-from-storage qubits choosing first, each taking the
+ *    closest empty storage site below its column (Sec. 5.2 step 1).
+ *  - Step 2: interacting qubits get labels (static / mobile / undecided)
+ *    following the four current-location cases of Fig. 4.
+ *  - Step 3: undecided qubits claim the nearest compute site that will
+ *    be empty after all planned departures; their partners follow.
+ *
+ * In the storage-free configuration (paper's "non-storage" rows) no
+ * parking happens; instead idle qubits that would be co-located with a
+ * static qubit or with another idle qubit during the pulse are evicted
+ * to the nearest free compute site, which is exactly the clustering
+ * hazard of Fig. 3 that forces Enola to revert.
+ */
+
+#ifndef POWERMOVE_ROUTE_ROUTER_HPP
+#define POWERMOVE_ROUTE_ROUTER_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+#include "common/rng.hpp"
+#include "route/move.hpp"
+#include "schedule/stage.hpp"
+
+namespace powermove {
+
+/** Continuous-router knobs. */
+struct RouterOptions
+{
+    /** Park idle qubits in the storage zone (zoned-architecture mode). */
+    bool use_storage = true;
+    /** Seed for the random mobile/static choice in Fig. 4 case (d). */
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** The planned transition into one stage. */
+struct TransitionPlan
+{
+    /** All 1Q moves of the transition, in decision order. */
+    std::vector<QubitMove> moves;
+    /** Labels assigned to interacting qubits, in assignment order. */
+    std::vector<std::pair<QubitId, MoveLabel>> labels;
+    /** Idle qubits parked into storage (step 1). */
+    std::size_t num_parked = 0;
+    /** Idle qubits evicted to dodge clustering (storage-free mode). */
+    std::size_t num_evicted = 0;
+};
+
+/** Plans direct layout-to-layout transitions (paper Sec. 5). */
+class ContinuousRouter
+{
+  public:
+    ContinuousRouter(const Machine &machine, RouterOptions options = {});
+
+    /**
+     * Plans the transition bringing @p layout into a configuration that
+     * executes @p stage, and applies it to @p layout.
+     *
+     * Post-conditions (validated downstream): every gate pair of the
+     * stage shares one compute site; no other two qubits share a site;
+     * in storage mode every idle qubit sits in the storage zone.
+     */
+    TransitionPlan planStageTransition(Layout &layout, const Stage &stage);
+
+    const RouterOptions &options() const { return options_; }
+
+  private:
+    /**
+     * Closest planned-empty storage site for a qubit at @p origin:
+     * minimal column distance, then shallowest row (Sec. 5.2 step 1).
+     */
+    SiteId findStorageSlot(SiteCoord origin,
+                           const std::vector<int> &planned) const;
+
+    /**
+     * Nearest compute site that will be empty once all planned departures
+     * and arrivals settle (Sec. 5.2 step 3).
+     */
+    SiteId findEmptyComputeSite(SiteId origin,
+                                const std::vector<int> &planned) const;
+
+    const Machine &machine_;
+    RouterOptions options_;
+    Rng rng_;
+
+    // Scratch buffers reused across transitions to keep the planning
+    // pass allocation-free (the compile-time story of Sec. 7.2 depends
+    // on the router staying near-linear per stage).
+    std::vector<QubitId> partner_;
+    std::vector<int> planned_;
+    std::vector<SiteId> target_;
+    std::vector<MoveLabel> label_;
+    std::vector<bool> labeled_;
+    std::vector<int> statics_at_;
+    std::vector<QubitId> follower_;
+    std::vector<QubitId> first_idle_at_;
+    std::vector<QubitId> idle_in_compute_;
+    std::vector<QubitId> undecided_order_;
+    std::vector<QubitId> evicted_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_ROUTE_ROUTER_HPP

@@ -1,0 +1,34 @@
+#include "schedule/stage.hpp"
+
+#include <algorithm>
+
+namespace powermove {
+
+std::vector<QubitId>
+Stage::interactingQubits() const
+{
+    std::vector<QubitId> qubits;
+    qubits.reserve(gates.size() * 2);
+    for (const auto &gate : gates) {
+        qubits.push_back(gate.a);
+        qubits.push_back(gate.b);
+    }
+    std::sort(qubits.begin(), qubits.end());
+    qubits.erase(std::unique(qubits.begin(), qubits.end()), qubits.end());
+    return qubits;
+}
+
+bool
+Stage::qubitsDisjoint() const
+{
+    std::vector<QubitId> qubits;
+    qubits.reserve(gates.size() * 2);
+    for (const auto &gate : gates) {
+        qubits.push_back(gate.a);
+        qubits.push_back(gate.b);
+    }
+    std::sort(qubits.begin(), qubits.end());
+    return std::adjacent_find(qubits.begin(), qubits.end()) == qubits.end();
+}
+
+} // namespace powermove

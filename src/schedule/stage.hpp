@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A Rydberg stage: CZ gates executable under one global pulse.
+ *
+ * Gates within a stage act on pairwise-disjoint qubits (paper Sec. 1,
+ * aspect 1). Once the router has brought every pair of a stage together,
+ * a single Rydberg excitation executes all of its gates in parallel.
+ */
+
+#ifndef POWERMOVE_SCHEDULE_STAGE_HPP
+#define POWERMOVE_SCHEDULE_STAGE_HPP
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace powermove {
+
+/** One Rydberg stage. */
+struct Stage
+{
+    std::vector<CzGate> gates;
+
+    /** Sorted list of the qubits interacting in this stage. */
+    std::vector<QubitId> interactingQubits() const;
+
+    /** True if no two gates share a qubit. */
+    bool qubitsDisjoint() const;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_SCHEDULE_STAGE_HPP

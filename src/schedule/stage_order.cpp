@@ -1,0 +1,97 @@
+#include "schedule/stage_order.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+namespace {
+
+/** |a \ b| for sorted vectors. */
+std::size_t
+differenceSize(const std::vector<QubitId> &a, const std::vector<QubitId> &b)
+{
+    std::size_t count = 0;
+    auto ita = a.begin();
+    auto itb = b.begin();
+    while (ita != a.end()) {
+        if (itb == b.end() || *ita < *itb) {
+            ++count;
+            ++ita;
+        } else if (*itb < *ita) {
+            ++itb;
+        } else {
+            ++ita;
+            ++itb;
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+double
+stageTransitionCost(const std::vector<QubitId> &current_qubits,
+                    const std::vector<QubitId> &next_qubits, double alpha)
+{
+    const auto entering_storage =
+        static_cast<double>(differenceSize(current_qubits, next_qubits));
+    const auto leaving_storage =
+        static_cast<double>(differenceSize(next_qubits, current_qubits));
+    return entering_storage + alpha * leaving_storage;
+}
+
+std::vector<Stage>
+orderStages(std::vector<Stage> stages, const StageOrderOptions &options)
+{
+    if (options.alpha <= 0.0 || options.alpha > 1.0)
+        fatal("stage order alpha must lie in (0, 1]");
+    if (stages.size() <= 1)
+        return stages;
+
+    std::vector<std::vector<QubitId>> qubit_sets;
+    qubit_sets.reserve(stages.size());
+    for (const auto &stage : stages)
+        qubit_sets.push_back(stage.interactingQubits());
+
+    const std::size_t count = stages.size();
+    std::vector<bool> used(count, false);
+
+    // First stage: fewest interacting qubits, so the bulk of the register
+    // can stay in storage from the start.
+    std::size_t current = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+        if (qubit_sets[i].size() < qubit_sets[current].size())
+            current = i;
+    }
+
+    std::vector<Stage> ordered;
+    ordered.reserve(count);
+    ordered.push_back(std::move(stages[current]));
+    used[current] = true;
+
+    for (std::size_t step = 1; step < count; ++step) {
+        std::size_t best = count;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < count; ++i) {
+            if (used[i])
+                continue;
+            const double cost = stageTransitionCost(qubit_sets[current],
+                                                    qubit_sets[i],
+                                                    options.alpha);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        PM_ASSERT(best < count, "stage ordering failed to pick a stage");
+        ordered.push_back(std::move(stages[best]));
+        used[best] = true;
+        current = best;
+    }
+    return ordered;
+}
+
+} // namespace powermove

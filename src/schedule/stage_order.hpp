@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Zone-aware stage ordering (paper Sec. 4.2).
+ *
+ * The stages of one commutable CZ block may run in any order. PowerMove
+ * orders them to minimize qubit interchange between the compute and
+ * storage zones: start with the stage touching the fewest qubits (so
+ * most qubits stay in storage), then greedily pick the stage whose
+ * interacting-qubit set differs least from the current one, scoring a
+ * candidate next stage S_{i+1} as
+ *
+ *     |Q_i \ Q_{i+1}| + alpha * |Q_{i+1} \ Q_i|,    alpha < 1,
+ *
+ * which prefers qubits *entering* storage (left term: current qubits the
+ * next stage parks) over qubits leaving it.
+ */
+
+#ifndef POWERMOVE_SCHEDULE_STAGE_ORDER_HPP
+#define POWERMOVE_SCHEDULE_STAGE_ORDER_HPP
+
+#include <vector>
+
+#include "schedule/stage.hpp"
+
+namespace powermove {
+
+/** Tuning knobs of the stage scheduler. */
+struct StageOrderOptions
+{
+    /** Weight of the move-out-of-storage term; must be in (0, 1]. */
+    double alpha = 0.5;
+};
+
+/**
+ * The transition cost between consecutive stages: qubits idled by the
+ * next stage plus alpha times the qubits it re-activates.
+ */
+double stageTransitionCost(const std::vector<QubitId> &current_qubits,
+                           const std::vector<QubitId> &next_qubits,
+                           double alpha);
+
+/**
+ * Reorders @p stages per Sec. 4.2; returns the scheduled sequence.
+ * Deterministic: ties break toward the lowest original stage index.
+ */
+std::vector<Stage> orderStages(std::vector<Stage> stages,
+                               const StageOrderOptions &options = {});
+
+} // namespace powermove
+
+#endif // POWERMOVE_SCHEDULE_STAGE_ORDER_HPP

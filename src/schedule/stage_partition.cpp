@@ -1,0 +1,54 @@
+#include "schedule/stage_partition.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+Graph
+buildInteractionGraph(const CzBlock &block, std::size_t num_qubits)
+{
+    const std::size_t num_gates = block.gates.size();
+    Graph graph(num_gates);
+
+    // Index gates by qubit, then connect every two gates sharing one.
+    std::vector<std::vector<Graph::Vertex>> gates_on_qubit(num_qubits);
+    for (std::size_t g = 0; g < num_gates; ++g) {
+        const auto &gate = block.gates[g];
+        PM_ASSERT(gate.a < num_qubits && gate.b < num_qubits,
+                  "gate qubit outside circuit width");
+        gates_on_qubit[gate.a].push_back(static_cast<Graph::Vertex>(g));
+        gates_on_qubit[gate.b].push_back(static_cast<Graph::Vertex>(g));
+    }
+    for (const auto &sharers : gates_on_qubit) {
+        for (std::size_t i = 0; i < sharers.size(); ++i) {
+            for (std::size_t j = i + 1; j < sharers.size(); ++j)
+                graph.addEdge(sharers[i], sharers[j]);
+        }
+    }
+    return graph;
+}
+
+std::vector<Stage>
+partitionIntoStages(const CzBlock &block, std::size_t num_qubits)
+{
+    if (block.gates.empty())
+        return {};
+    if (block.gates.size() == 1)
+        return {Stage{block.gates}};
+
+    const Graph graph = buildInteractionGraph(block, num_qubits);
+    const auto order = verticesByDegreeDesc(graph);
+    const auto coloring = greedyColoring(graph, order);
+
+    std::vector<Stage> stages(numColors(coloring));
+    for (std::size_t g = 0; g < block.gates.size(); ++g)
+        stages[coloring[g]].gates.push_back(block.gates[g]);
+
+    for (const auto &stage : stages)
+        PM_ASSERT(stage.qubitsDisjoint(), "stage partition produced overlap");
+    return stages;
+}
+
+} // namespace powermove

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Stage partitioning via edge coloring (paper Sec. 4.1, Algorithm 1).
+ *
+ * Gates of a commutable CZ block form the vertices of an *interaction
+ * graph* whose edges join gates sharing a qubit. A proper coloring of
+ * this graph yields stages: gates of one color act on disjoint qubits and
+ * execute under a single Rydberg pulse. PowerMove colors greedily in
+ * descending vertex-degree order (Welsh-Powell), which is near-optimal
+ * for these line-graph-like instances and runs in near-linear time.
+ */
+
+#ifndef POWERMOVE_SCHEDULE_STAGE_PARTITION_HPP
+#define POWERMOVE_SCHEDULE_STAGE_PARTITION_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "schedule/stage.hpp"
+
+namespace powermove {
+
+/**
+ * Builds the interaction graph of a CZ block: one vertex per gate, one
+ * edge between every two gates sharing a qubit.
+ */
+Graph buildInteractionGraph(const CzBlock &block, std::size_t num_qubits);
+
+/**
+ * Partitions a commutable CZ block into stages (Algorithm 1).
+ *
+ * @param block      the gates to partition
+ * @param num_qubits circuit width (for the qubit-indexed gate lists)
+ * @return stages of disjoint-qubit gates; their concatenation is a
+ *         permutation of the block's gates.
+ */
+std::vector<Stage> partitionIntoStages(const CzBlock &block,
+                                       std::size_t num_qubits);
+
+} // namespace powermove
+
+#endif // POWERMOVE_SCHEDULE_STAGE_PARTITION_HPP

@@ -1,0 +1,53 @@
+#include "workloads/bv.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace powermove {
+
+Circuit
+makeBvWithSecret(std::size_t num_qubits, const std::vector<bool> &secret)
+{
+    if (num_qubits < 2)
+        fatal("BV needs at least one data qubit plus the ancilla");
+    if (secret.size() != num_qubits - 1)
+        fatal("BV secret length must be num_qubits - 1");
+
+    Circuit circuit(num_qubits, "BV-" + std::to_string(num_qubits));
+    const auto ancilla = static_cast<QubitId>(num_qubits - 1);
+
+    // Prepare |+>^data and |-> on the ancilla.
+    for (QubitId q = 0; q < ancilla; ++q)
+        circuit.append(OneQGate{OneQKind::H, q, 0.0});
+    circuit.append(OneQGate{OneQKind::X, ancilla, 0.0});
+    circuit.append(OneQGate{OneQKind::H, ancilla, 0.0});
+
+    // Oracle: CX(i, ancilla) per secret one; the ancilla Hadamards of
+    // consecutive CXs cancel, so a single H brackets one CZ block.
+    circuit.append(OneQGate{OneQKind::H, ancilla, 0.0});
+    for (QubitId q = 0; q < ancilla; ++q) {
+        if (secret[q])
+            circuit.append(CzGate{q, ancilla});
+    }
+    circuit.append(OneQGate{OneQKind::H, ancilla, 0.0});
+
+    // Unprepare the data register to read the secret out.
+    for (QubitId q = 0; q < ancilla; ++q)
+        circuit.append(OneQGate{OneQKind::H, q, 0.0});
+    return circuit;
+}
+
+Circuit
+makeBv(std::size_t num_qubits, std::uint64_t seed)
+{
+    if (num_qubits < 2)
+        fatal("BV needs at least one data qubit plus the ancilla");
+    Rng rng(seed);
+    const std::size_t data_bits = num_qubits - 1;
+    std::vector<bool> secret(data_bits, false);
+    for (const std::size_t index : rng.sampleIndices(data_bits, data_bits / 2))
+        secret[index] = true;
+    return makeBvWithSecret(num_qubits, secret);
+}
+
+} // namespace powermove

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Bernstein-Vazirani benchmark.
+ *
+ * The oracle applies CX(i, ancilla) for every secret bit s_i = 1; in the
+ * CZ basis the ancilla-side Hadamards of consecutive CXs cancel, leaving
+ * a single CZ block in which every gate shares the ancilla — the
+ * inherently sequential structure that exposes Enola's excitation error
+ * (paper Fig. 6e). Secret strings have an even 0/1 distribution
+ * (Sec. 7.1).
+ */
+
+#ifndef POWERMOVE_WORKLOADS_BV_HPP
+#define POWERMOVE_WORKLOADS_BV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** BV with an explicit secret over num_qubits-1 data bits. */
+Circuit makeBvWithSecret(std::size_t num_qubits,
+                         const std::vector<bool> &secret);
+
+/**
+ * BV over @p num_qubits qubits (data + 1 ancilla) with a random secret
+ * containing floor((n-1)/2) ones ("BV-<n>").
+ */
+Circuit makeBv(std::size_t num_qubits, std::uint64_t seed);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_BV_HPP

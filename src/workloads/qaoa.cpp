@@ -1,0 +1,50 @@
+#include "workloads/qaoa.hpp"
+
+#include "common/rng.hpp"
+
+namespace powermove {
+
+Circuit
+makeQaoaFromGraph(const Graph &graph, std::size_t rounds, std::string name)
+{
+    const std::size_t n = graph.numVertices();
+    Circuit circuit(n, std::move(name));
+
+    // Initial |+> preparation.
+    for (QubitId q = 0; q < n; ++q)
+        circuit.append(OneQGate{OneQKind::H, q, 0.0});
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        // Cost layer: one commutable ZZ episode per problem edge.
+        for (const auto &[u, v] : graph.edges())
+            circuit.append(CzGate{u, v});
+        // Mixer layer.
+        for (QubitId q = 0; q < n; ++q)
+            circuit.append(OneQGate{
+                OneQKind::Rx, q, 0.42 + 0.1 * static_cast<double>(round)});
+    }
+    return circuit;
+}
+
+Circuit
+makeQaoaRegular(std::size_t num_qubits, std::size_t degree,
+                std::size_t rounds, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Graph graph = randomRegularGraph(num_qubits, degree, rng);
+    return makeQaoaFromGraph(graph, rounds,
+                             "QAOA-regular" + std::to_string(degree) + "-" +
+                                 std::to_string(num_qubits));
+}
+
+Circuit
+makeQaoaRandom(std::size_t num_qubits, double edge_probability,
+               std::size_t rounds, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Graph graph = randomGnp(num_qubits, edge_probability, rng);
+    return makeQaoaFromGraph(graph, rounds,
+                             "QAOA-random-" + std::to_string(num_qubits));
+}
+
+} // namespace powermove

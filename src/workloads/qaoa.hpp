@@ -1,0 +1,37 @@
+/**
+ * @file
+ * QAOA benchmark circuits (paper Sec. 7.1).
+ *
+ * Two flavors: *regular* — ZZ interactions on the edges of a random
+ * d-regular graph — and *random* — ZZ interactions between each qubit
+ * pair with 50% probability (an Erdos-Renyi G(n, 0.5) cost graph). Each
+ * ZZ interaction is one CZ-class adjacency episode (see DESIGN.md); all
+ * episodes of one round are mutually commutable and form a single CZ
+ * block, followed by the RX mixer layer.
+ */
+
+#ifndef POWERMOVE_WORKLOADS_QAOA_HPP
+#define POWERMOVE_WORKLOADS_QAOA_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+
+namespace powermove {
+
+/** QAOA circuit over an explicit problem graph, @p rounds rounds. */
+Circuit makeQaoaFromGraph(const Graph &graph, std::size_t rounds,
+                          std::string name);
+
+/** QAOA on a random d-regular graph ("QAOA-regular<d>-<n>"). */
+Circuit makeQaoaRegular(std::size_t num_qubits, std::size_t degree,
+                        std::size_t rounds, std::uint64_t seed);
+
+/** QAOA on G(n, p) ("QAOA-random-<n>"). */
+Circuit makeQaoaRandom(std::size_t num_qubits, double edge_probability,
+                       std::size_t rounds, std::uint64_t seed);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_QAOA_HPP

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Quantum Fourier Transform benchmark.
+ *
+ * Standard QFT: for each target k, a Hadamard followed by controlled-
+ * phase rotations CP(pi/2^(j-k)) from every higher qubit j. Each CP is
+ * one CZ-class adjacency episode; because CP is diagonal its residual
+ * single-qubit Rz corrections commute with the CZ block and are emitted
+ * after it, preserving the block structure. The final bit-reversal swaps
+ * are omitted (they relabel qubits classically), following standard
+ * compilation-study practice.
+ */
+
+#ifndef POWERMOVE_WORKLOADS_QFT_HPP
+#define POWERMOVE_WORKLOADS_QFT_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** n-qubit QFT ("QFT-<n>"). */
+Circuit makeQft(std::size_t num_qubits);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_QFT_HPP

@@ -1,0 +1,92 @@
+#include "workloads/qsim.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace powermove {
+
+namespace {
+
+enum class Pauli : std::uint8_t { I, X, Y, Z };
+
+/** Basis change rotating the Pauli eigenbasis onto Z. */
+void
+applyBasisChange(Circuit &circuit, QubitId q, Pauli pauli, bool inverse)
+{
+    switch (pauli) {
+      case Pauli::X:
+        circuit.append(OneQGate{OneQKind::H, q, 0.0});
+        break;
+      case Pauli::Y:
+        if (inverse) {
+            circuit.append(OneQGate{OneQKind::H, q, 0.0});
+            circuit.append(OneQGate{OneQKind::S, q, 0.0});
+        } else {
+            circuit.append(OneQGate{OneQKind::Sdg, q, 0.0});
+            circuit.append(OneQGate{OneQKind::H, q, 0.0});
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+/** One CZ-basis CX(control, target): H(target) CZ H(target). */
+void
+appendCx(Circuit &circuit, QubitId control, QubitId target)
+{
+    circuit.append(OneQGate{OneQKind::H, target, 0.0});
+    circuit.append(CzGate{control, target});
+    circuit.append(OneQGate{OneQKind::H, target, 0.0});
+}
+
+} // namespace
+
+Circuit
+makeQsim(std::size_t num_qubits, double non_identity_probability,
+         std::size_t num_strings, std::uint64_t seed)
+{
+    if (num_qubits < 2)
+        fatal("QSim needs at least two qubits");
+    Rng rng(seed);
+    Circuit circuit(num_qubits, "QSIM-rand-" + std::to_string(num_qubits));
+
+    for (std::size_t s = 0; s < num_strings; ++s) {
+        // Draw a Pauli string with at least two non-identity entries so
+        // the term needs entangling gates.
+        std::vector<Pauli> paulis;
+        std::vector<QubitId> support;
+        do {
+            paulis.assign(num_qubits, Pauli::I);
+            support.clear();
+            for (QubitId q = 0; q < num_qubits; ++q) {
+                if (!rng.nextBool(non_identity_probability))
+                    continue;
+                const auto which = rng.nextBelow(3);
+                paulis[q] = which == 0   ? Pauli::X
+                            : which == 1 ? Pauli::Y
+                                         : Pauli::Z;
+                support.push_back(q);
+            }
+        } while (support.size() < 2);
+
+        for (const QubitId q : support)
+            applyBasisChange(circuit, q, paulis[q], false);
+
+        // Parity ladder down, Rz on the last support qubit, ladder back.
+        for (std::size_t i = 0; i + 1 < support.size(); ++i)
+            appendCx(circuit, support[i], support[i + 1]);
+        circuit.append(OneQGate{OneQKind::Rz, support.back(),
+                                rng.nextDouble() * 3.14159});
+        for (std::size_t i = support.size() - 1; i-- > 0;)
+            appendCx(circuit, support[i], support[i + 1]);
+
+        for (const QubitId q : support)
+            applyBasisChange(circuit, q, paulis[q], true);
+    }
+    return circuit;
+}
+
+} // namespace powermove

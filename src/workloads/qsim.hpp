@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Random Pauli-string quantum-simulation benchmark ("QSIM-rand-0.3").
+ *
+ * Each circuit exponentiates ten random Pauli strings; every qubit
+ * carries a non-identity Pauli with probability 0.3 (paper Sec. 7.1).
+ * A string exp(-i theta P) synthesizes to basis-change 1Q layers, a CNOT
+ * parity ladder down its support, an Rz, and the mirrored ladder back.
+ * In the CZ basis, the target-side Hadamards between consecutive ladder
+ * steps make each ladder CZ its own block — the long sequential stage
+ * chains that dominate Enola's excitation error on this benchmark
+ * (paper Fig. 6b).
+ */
+
+#ifndef POWERMOVE_WORKLOADS_QSIM_HPP
+#define POWERMOVE_WORKLOADS_QSIM_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** Random Pauli-string simulation circuit ("QSIM-rand-<n>"). */
+Circuit makeQsim(std::size_t num_qubits, double non_identity_probability,
+                 std::size_t num_strings, std::uint64_t seed);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_QSIM_HPP

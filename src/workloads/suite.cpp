@@ -1,0 +1,100 @@
+#include "workloads/suite.hpp"
+
+#include "common/error.hpp"
+#include "workloads/bv.hpp"
+#include "workloads/qaoa.hpp"
+#include "workloads/qft.hpp"
+#include "workloads/qsim.hpp"
+#include "workloads/vqe.hpp"
+
+namespace powermove {
+
+namespace {
+
+/** Stable per-entry seed derived from family and size. */
+std::uint64_t
+benchmarkSeed(const std::string &family, std::size_t num_qubits)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : family) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    h ^= num_qubits;
+    h *= 0x100000001b3ULL;
+    return h;
+}
+
+Circuit
+buildFamily(const std::string &family, std::size_t n)
+{
+    const std::uint64_t seed = benchmarkSeed(family, n);
+    if (family == "QAOA-regular3")
+        return makeQaoaRegular(n, 3, 1, seed);
+    if (family == "QAOA-regular4")
+        return makeQaoaRegular(n, 4, 1, seed);
+    if (family == "QAOA-random")
+        return makeQaoaRandom(n, 0.5, 1, seed);
+    if (family == "QFT")
+        return makeQft(n);
+    if (family == "BV")
+        return makeBv(n, seed);
+    if (family == "VQE")
+        return makeVqe(n, 1, VqeEntanglement::Linear, seed);
+    if (family == "QSIM-rand-0.3")
+        return makeQsim(n, 0.3, 10, seed);
+    fatal("unknown benchmark family: " + family);
+}
+
+BenchmarkSpec
+makeSpec(const std::string &family, std::size_t n)
+{
+    BenchmarkSpec spec;
+    spec.family = family;
+    spec.num_qubits = n;
+    spec.name = family + "-" + std::to_string(n);
+    spec.machine_config = MachineConfig::forQubits(n);
+    spec.build = [family, n] { return buildFamily(family, n); };
+    return spec;
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+table2Suite()
+{
+    const auto add = [](std::vector<BenchmarkSpec> &out,
+                        const std::string &family,
+                        std::initializer_list<std::size_t> sizes) {
+        for (const std::size_t n : sizes)
+            out.push_back(makeSpec(family, n));
+    };
+
+    std::vector<BenchmarkSpec> suite;
+    add(suite, "QAOA-regular3", {30, 40, 50, 60, 80, 100});
+    add(suite, "QAOA-regular4", {30, 40, 50, 60, 80});
+    add(suite, "QAOA-random", {20, 30});
+    add(suite, "QFT", {18, 29});
+    add(suite, "BV", {14, 50, 70});
+    add(suite, "VQE", {30, 50});
+    add(suite, "QSIM-rand-0.3", {10, 20, 40});
+    return suite;
+}
+
+BenchmarkSpec
+findBenchmark(const std::string &name)
+{
+    for (auto &spec : table2Suite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark: " + name);
+}
+
+BenchmarkSpec
+makeFamilyInstance(const std::string &family, std::size_t num_qubits)
+{
+    return makeSpec(family, num_qubits);
+}
+
+} // namespace powermove

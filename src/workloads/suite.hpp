@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 2).
+ *
+ * Twenty-three entries across seven families, each paired with the
+ * paper's default machine shape for its qubit count (compute
+ * ceil(sqrt(n))^2, storage ceil(sqrt(n)) x 2 ceil(sqrt(n)), 15 um pitch,
+ * 30 um inter-zone gap). Circuits are generated deterministically from
+ * per-entry seeds so every run reproduces identical programs.
+ */
+
+#ifndef POWERMOVE_WORKLOADS_SUITE_HPP
+#define POWERMOVE_WORKLOADS_SUITE_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** One Table 2 row: a benchmark circuit plus its machine shape. */
+struct BenchmarkSpec
+{
+    /** Paper row name, e.g. "QAOA-regular3-30". */
+    std::string name;
+    /** Benchmark family, e.g. "QAOA-regular3". */
+    std::string family;
+    /** Circuit width. */
+    std::size_t num_qubits = 0;
+    /** Machine shape from Sec. 7.1's sizing rule. */
+    MachineConfig machine_config;
+    /** Deterministic circuit builder. */
+    std::function<Circuit()> build;
+};
+
+/** All 23 benchmark entries of Table 2, in paper order. */
+std::vector<BenchmarkSpec> table2Suite();
+
+/** The entry named @p name; throws ConfigError if absent. */
+BenchmarkSpec findBenchmark(const std::string &name);
+
+/**
+ * A family sweep used by the Fig. 6 ablation: the family's builder
+ * instantiated at an arbitrary qubit count.
+ */
+BenchmarkSpec makeFamilyInstance(const std::string &family,
+                                 std::size_t num_qubits);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_SUITE_HPP

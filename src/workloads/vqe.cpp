@@ -1,0 +1,38 @@
+#include "workloads/vqe.hpp"
+
+#include "common/rng.hpp"
+
+namespace powermove {
+
+Circuit
+makeVqe(std::size_t num_qubits, std::size_t reps,
+        VqeEntanglement entanglement, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit circuit(num_qubits, "VQE-" + std::to_string(num_qubits));
+    const auto n = static_cast<QubitId>(num_qubits);
+
+    const auto ry_layer = [&] {
+        for (QubitId q = 0; q < n; ++q) {
+            circuit.append(
+                OneQGate{OneQKind::Ry, q, rng.nextDouble() * 6.2831853});
+        }
+    };
+
+    ry_layer();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        if (entanglement == VqeEntanglement::Linear) {
+            for (QubitId q = 0; q + 1 < n; ++q)
+                circuit.append(CzGate{q, static_cast<QubitId>(q + 1)});
+        } else {
+            for (QubitId a = 0; a < n; ++a) {
+                for (QubitId b = a + 1; b < n; ++b)
+                    circuit.append(CzGate{a, b});
+            }
+        }
+        ry_layer();
+    }
+    return circuit;
+}
+
+} // namespace powermove

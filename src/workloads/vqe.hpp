@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Variational Quantum Eigensolver ansatz benchmark.
+ *
+ * Hardware-efficient TwoLocal ansatz: RY rotation layers interleaved
+ * with entangling CZ layers. The default is *linear* entanglement
+ * (nearest-neighbor chain) with one repetition, which matches the gate
+ * counts implied by the paper's Table 3 (see DESIGN.md: the reported
+ * VQE-30 fidelity of 0.71 bounds g2 around 30–70, ruling out all-pairs
+ * entanglement); *full* (all-pairs) entanglement is available as an
+ * option.
+ */
+
+#ifndef POWERMOVE_WORKLOADS_VQE_HPP
+#define POWERMOVE_WORKLOADS_VQE_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** Entangling-layer topology of the ansatz. */
+enum class VqeEntanglement : std::uint8_t
+{
+    Linear,
+    Full,
+};
+
+/** TwoLocal VQE ansatz ("VQE-<n>"). */
+Circuit makeVqe(std::size_t num_qubits, std::size_t reps = 1,
+                VqeEntanglement entanglement = VqeEntanglement::Linear,
+                std::uint64_t seed = 1);
+
+} // namespace powermove
+
+#endif // POWERMOVE_WORKLOADS_VQE_HPP

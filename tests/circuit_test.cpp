@@ -1,0 +1,175 @@
+/** @file Unit tests for the circuit IR. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/stats.hpp"
+#include "common/error.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(GateTest, CanonicalOrdersEndpoints)
+{
+    EXPECT_EQ((CzGate{3, 1}.canonical()), (CzGate{1, 3}));
+    EXPECT_EQ((CzGate{1, 3}.canonical()), (CzGate{1, 3}));
+}
+
+TEST(GateTest, TouchesAndPartner)
+{
+    const CzGate gate{2, 5};
+    EXPECT_TRUE(gate.touches(2));
+    EXPECT_TRUE(gate.touches(5));
+    EXPECT_FALSE(gate.touches(3));
+    EXPECT_EQ(gate.partnerOf(2), 5u);
+    EXPECT_EQ(gate.partnerOf(5), 2u);
+}
+
+TEST(GateTest, OneQKindNamesAndAngles)
+{
+    EXPECT_EQ(oneQKindName(OneQKind::H), "h");
+    EXPECT_EQ(oneQKindName(OneQKind::Sdg), "sdg");
+    EXPECT_EQ(oneQKindName(OneQKind::Rz), "rz");
+    EXPECT_TRUE(oneQKindHasAngle(OneQKind::Rx));
+    EXPECT_TRUE(oneQKindHasAngle(OneQKind::U));
+    EXPECT_FALSE(oneQKindHasAngle(OneQKind::H));
+    EXPECT_FALSE(oneQKindHasAngle(OneQKind::T));
+}
+
+TEST(CircuitTest, EmptyCircuit)
+{
+    const Circuit c(4, "empty");
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.numQubits(), 4u);
+    EXPECT_EQ(c.name(), "empty");
+    EXPECT_EQ(c.numBlocks(), 0u);
+}
+
+TEST(CircuitTest, AlternationMergesConsecutiveKinds)
+{
+    Circuit c(4);
+    c.append(OneQGate{OneQKind::H, 0, 0.0});
+    c.append(OneQGate{OneQKind::H, 1, 0.0});
+    c.append(CzGate{0, 1});
+    c.append(CzGate{2, 3});
+    c.append(OneQGate{OneQKind::X, 2, 0.0});
+    c.append(CzGate{1, 2});
+
+    ASSERT_EQ(c.moments().size(), 4u);
+    EXPECT_TRUE(std::holds_alternative<OneQLayer>(c.moments()[0]));
+    EXPECT_TRUE(std::holds_alternative<CzBlock>(c.moments()[1]));
+    EXPECT_TRUE(std::holds_alternative<OneQLayer>(c.moments()[2]));
+    EXPECT_TRUE(std::holds_alternative<CzBlock>(c.moments()[3]));
+    EXPECT_EQ(c.numBlocks(), 2u);
+    EXPECT_EQ(c.numCzGates(), 3u);
+    EXPECT_EQ(c.numOneQGates(), 3u);
+}
+
+TEST(CircuitTest, CzGatesStoredCanonically)
+{
+    Circuit c(3);
+    c.append(CzGate{2, 0});
+    const auto blocks = c.blocks();
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0]->gates[0], (CzGate{0, 2}));
+}
+
+TEST(CircuitTest, BarrierSplitsBlocks)
+{
+    Circuit c(4);
+    c.append(CzGate{0, 1});
+    c.barrier();
+    c.append(CzGate{2, 3});
+    EXPECT_EQ(c.numBlocks(), 2u);
+}
+
+TEST(CircuitTest, BarrierBeforeOneQIsHarmless)
+{
+    Circuit c(2);
+    c.barrier();
+    c.append(OneQGate{OneQKind::H, 0, 0.0});
+    c.append(CzGate{0, 1});
+    EXPECT_EQ(c.numBlocks(), 1u);
+}
+
+TEST(CircuitTest, RejectsOutOfRangeQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.append(OneQGate{OneQKind::H, 2, 0.0}), ConfigError);
+    EXPECT_THROW(c.append(CzGate{0, 5}), ConfigError);
+}
+
+TEST(CircuitTest, RejectsSelfCz)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.append(CzGate{1, 1}), ConfigError);
+}
+
+TEST(CircuitTest, AppendCircuitConcatenates)
+{
+    Circuit a(3);
+    a.append(CzGate{0, 1});
+    Circuit b(3);
+    b.append(OneQGate{OneQKind::H, 2, 0.0});
+    b.append(CzGate{1, 2});
+    a.appendCircuit(b);
+    EXPECT_EQ(a.numCzGates(), 2u);
+    EXPECT_EQ(a.numOneQGates(), 1u);
+    EXPECT_EQ(a.numBlocks(), 2u);
+}
+
+TEST(CircuitTest, AppendCircuitRequiresSameWidth)
+{
+    Circuit a(3);
+    const Circuit b(4);
+    EXPECT_THROW(a.appendCircuit(b), ConfigError);
+}
+
+TEST(OneQLayerTest, DepthCountsStackedGates)
+{
+    OneQLayer layer;
+    layer.gates = {OneQGate{OneQKind::H, 0, 0.0},
+                   OneQGate{OneQKind::X, 0, 0.0},
+                   OneQGate{OneQKind::H, 1, 0.0}};
+    EXPECT_EQ(layer.depth(2), 2u);
+    EXPECT_EQ(OneQLayer{}.depth(2), 0u);
+}
+
+TEST(CzBlockTest, TouchedQubitsSortedUnique)
+{
+    CzBlock block;
+    block.gates = {CzGate{3, 1}, CzGate{1, 2}};
+    EXPECT_EQ(block.touchedQubits(), (std::vector<QubitId>{1, 2, 3}));
+}
+
+TEST(CircuitStatsTest, CountsAndBounds)
+{
+    Circuit c(4);
+    c.append(OneQGate{OneQKind::H, 0, 0.0});
+    // Block 1: star around qubit 0 -> needs 3 stages.
+    c.append(CzGate{0, 1});
+    c.append(CzGate{0, 2});
+    c.append(CzGate{0, 3});
+    c.append(OneQGate{OneQKind::H, 0, 0.0});
+    // Block 2: disjoint pair -> 1 stage.
+    c.append(CzGate{1, 2});
+
+    const auto stats = computeStats(c);
+    EXPECT_EQ(stats.num_qubits, 4u);
+    EXPECT_EQ(stats.num_cz_gates, 4u);
+    EXPECT_EQ(stats.num_one_q_gates, 2u);
+    EXPECT_EQ(stats.num_blocks, 2u);
+    EXPECT_EQ(stats.max_block_gates, 3u);
+    EXPECT_EQ(stats.stage_lower_bound, 4u);
+    EXPECT_NE(stats.toString().find("cz=4"), std::string::npos);
+}
+
+TEST(CircuitStatsTest, EmptyCircuitStats)
+{
+    const auto stats = computeStats(Circuit(2));
+    EXPECT_EQ(stats.num_cz_gates, 0u);
+    EXPECT_EQ(stats.stage_lower_bound, 0u);
+}
+
+} // namespace
+} // namespace powermove

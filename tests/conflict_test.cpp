@@ -1,0 +1,132 @@
+/** @file Tests for the AOD move-compatibility predicate (Fig. 5). */
+
+#include <gtest/gtest.h>
+
+#include "route/conflict.hpp"
+
+namespace powermove {
+namespace {
+
+class ConflictTest : public ::testing::Test
+{
+  protected:
+    ConflictTest() : machine_(MachineConfig::forQubits(36)) {}
+
+    QubitMove
+    move(QubitId q, SiteCoord from, SiteCoord to) const
+    {
+        return QubitMove{q, machine_.siteAt(from), machine_.siteAt(to)};
+    }
+
+    Machine machine_;
+};
+
+TEST_F(ConflictTest, Fig5Panel1SameStartColumnSplitting)
+{
+    // x1s == x2s but x1e != x2e: a shared column may not split.
+    const auto m1 = move(0, {2, 0}, {1, 3});
+    const auto m2 = move(1, {2, 1}, {3, 4});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, Fig5Panel2ColumnCrossing)
+{
+    // x1s > x2s but x1e < x2e: columns cross.
+    const auto m1 = move(0, {3, 0}, {1, 2});
+    const auto m2 = move(1, {1, 1}, {2, 3});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, Fig5Panel3ColumnMerging)
+{
+    // x1s > x2s but x1e == x2e: columns may not merge.
+    const auto m1 = move(0, {3, 0}, {2, 2});
+    const auto m2 = move(1, {1, 1}, {2, 3});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, RowCrossingConflictsOnY)
+{
+    const auto m1 = move(0, {0, 3}, {1, 1});
+    const auto m2 = move(1, {1, 1}, {2, 2});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, RowMergingConflictsOnY)
+{
+    const auto m1 = move(0, {0, 3}, {1, 2});
+    const auto m2 = move(1, {2, 1}, {3, 2});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, ParallelTranslationsAreCompatible)
+{
+    const auto m1 = move(0, {0, 0}, {1, 1});
+    const auto m2 = move(1, {2, 0}, {3, 1});
+    EXPECT_FALSE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, StretchIsCompatible)
+{
+    // Both columns move apart: order preserved.
+    const auto m1 = move(0, {1, 0}, {0, 0});
+    const auto m2 = move(1, {2, 0}, {4, 0});
+    EXPECT_FALSE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, ContractionWithoutMergingIsCompatible)
+{
+    const auto m1 = move(0, {0, 0}, {1, 0});
+    const auto m2 = move(1, {3, 0}, {2, 0});
+    EXPECT_FALSE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, SharedColumnMovingTogetherIsCompatible)
+{
+    const auto m1 = move(0, {2, 0}, {4, 0});
+    const auto m2 = move(1, {2, 3}, {4, 3});
+    EXPECT_FALSE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, ConvergingToSameSiteConflicts)
+{
+    // Two movers to one site would merge both a row and a column.
+    const auto m1 = move(0, {0, 0}, {2, 2});
+    const auto m2 = move(1, {4, 4}, {2, 2});
+    EXPECT_TRUE(movesConflict(machine_, m1, m2));
+}
+
+TEST_F(ConflictTest, PredicateIsSymmetric)
+{
+    const auto m1 = move(0, {3, 0}, {1, 2});
+    const auto m2 = move(1, {1, 1}, {2, 3});
+    EXPECT_EQ(movesConflict(machine_, m1, m2),
+              movesConflict(machine_, m2, m1));
+    const auto m3 = move(2, {0, 0}, {1, 1});
+    const auto m4 = move(3, {2, 0}, {3, 1});
+    EXPECT_EQ(movesConflict(machine_, m3, m4),
+              movesConflict(machine_, m4, m3));
+}
+
+TEST_F(ConflictTest, GroupHelpers)
+{
+    CollMove group;
+    group.moves = {move(0, {0, 0}, {1, 1}), move(1, {2, 0}, {3, 1})};
+    EXPECT_TRUE(isValidCollMove(machine_, group));
+    // A crossing candidate conflicts with the group.
+    const auto crossing = move(2, {4, 0}, {0, 1});
+    EXPECT_TRUE(conflictsWithGroup(machine_, group, crossing));
+    const auto parallel = move(2, {4, 0}, {5, 1});
+    EXPECT_FALSE(conflictsWithGroup(machine_, group, parallel));
+
+    group.moves.push_back(crossing);
+    EXPECT_FALSE(isValidCollMove(machine_, group));
+}
+
+TEST_F(ConflictTest, EmptyGroupIsValid)
+{
+    EXPECT_TRUE(isValidCollMove(machine_, CollMove{}));
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,243 @@
+/** @file Tests for the Enola baseline compiler. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compiler/powermove.hpp"
+#include "enola/enola.hpp"
+#include "isa/validator.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(EnolaTest, ZeroAodsRejected)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    EnolaOptions options;
+    options.num_aods = 0;
+    EXPECT_THROW(EnolaCompiler(machine, options), ConfigError);
+}
+
+TEST(EnolaTest, HomeLayoutIsRowMajorByDefault)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 1});
+    const auto result = EnolaCompiler(machine).compile(circuit);
+    for (QubitId q = 0; q < 9; ++q)
+        EXPECT_EQ(result.schedule.initialSites()[q], q);
+}
+
+TEST(EnolaTest, RevertsToHomeAfterEveryStage)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 5});
+    circuit.append(CzGate{3, 7});
+    const auto result = EnolaCompiler(machine).compile(circuit);
+
+    // Replay: after the full program every qubit is back home.
+    std::vector<SiteId> positions = result.schedule.initialSites();
+    for (const auto &instruction : result.schedule.instructions()) {
+        if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            for (const auto &group : op->batch.groups)
+                for (const auto &move : group.moves)
+                    positions[move.qubit] = move.to;
+        }
+    }
+    for (QubitId q = 0; q < 9; ++q)
+        EXPECT_EQ(positions[q], q);
+}
+
+TEST(EnolaTest, TwoLegsMeansTwoMovesPerGate)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 5});
+    circuit.append(CzGate{3, 7});
+    const auto result = EnolaCompiler(machine).compile(circuit);
+    // One mover per gate, out and back.
+    EXPECT_EQ(result.schedule.numQubitMoves(), 2u * circuit.numCzGates());
+}
+
+TEST(EnolaTest, NeverUsesStorage)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Machine machine(spec.machine_config);
+    const auto result = EnolaCompiler(machine).compile(spec.build());
+    for (const auto &instruction : result.schedule.instructions()) {
+        if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            for (const auto &group : op->batch.groups) {
+                for (const auto &move : group.moves) {
+                    EXPECT_EQ(machine.zoneOf(move.to), ZoneKind::Compute);
+                    EXPECT_EQ(machine.zoneOf(move.from), ZoneKind::Compute);
+                }
+            }
+        }
+    }
+}
+
+TEST(EnolaTest, SequentialMovementUsesSingletonCollMoves)
+{
+    const auto spec = findBenchmark("QAOA-regular3-30");
+    const Machine machine(spec.machine_config);
+    const auto result = EnolaCompiler(machine).compile(spec.build());
+    for (const auto &instruction : result.schedule.instructions()) {
+        if (const auto *op = std::get_if<MoveBatchOp>(&instruction)) {
+            for (const auto &group : op->batch.groups)
+                EXPECT_EQ(group.moves.size(), 1u);
+        }
+    }
+}
+
+TEST(EnolaTest, MisBatchingReducesExecutionTime)
+{
+    const auto spec = findBenchmark("QAOA-regular3-30");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    EnolaOptions sequential;
+    EnolaOptions batched;
+    batched.movement = EnolaMovement::Mis;
+    const auto slow = EnolaCompiler(machine, sequential).compile(circuit);
+    const auto fast = EnolaCompiler(machine, batched).compile(circuit);
+
+    EXPECT_NO_THROW(validateAgainstCircuit(fast.schedule, circuit));
+    EXPECT_LT(fast.metrics.exec_time.micros(),
+              slow.metrics.exec_time.micros());
+    // Same gate work either way.
+    EXPECT_EQ(fast.schedule.numCzGates(), slow.schedule.numCzGates());
+    EXPECT_EQ(fast.schedule.numQubitMoves(), slow.schedule.numQubitMoves());
+}
+
+TEST(EnolaTest, AnnealedPlacementShortensMoves)
+{
+    const auto spec = findBenchmark("QAOA-regular3-30");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    EnolaOptions annealed;
+    annealed.anneal_placement = true;
+    const auto base = EnolaCompiler(machine).compile(circuit);
+    const auto tuned = EnolaCompiler(machine, annealed).compile(circuit);
+    EXPECT_NO_THROW(validateAgainstCircuit(tuned.schedule, circuit));
+    EXPECT_LT(tuned.metrics.exec_time.micros(),
+              base.metrics.exec_time.micros());
+}
+
+TEST(EnolaStorageTest, HomeLayoutSitsInStorage)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 1});
+    EnolaOptions options;
+    options.use_storage = true;
+    const auto result = EnolaCompiler(machine, options).compile(circuit);
+    for (const SiteId site : result.schedule.initialSites())
+        EXPECT_EQ(machine.zoneOf(site), ZoneKind::Storage);
+    EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit));
+}
+
+TEST(EnolaStorageTest, BothEndpointsShuttlePerStage)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{2, 3});
+    EnolaOptions options;
+    options.use_storage = true;
+    const auto result = EnolaCompiler(machine, options).compile(circuit);
+    // Fig. 3f: two qubits out and back per gate.
+    EXPECT_EQ(result.schedule.numQubitMoves(), 4u * circuit.numCzGates());
+}
+
+TEST(EnolaStorageTest, EliminatesExcitationButPaysInterZoneTime)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    EnolaOptions with;
+    with.use_storage = true;
+    const auto storage = EnolaCompiler(machine, with).compile(circuit);
+    const auto plain = EnolaCompiler(machine).compile(circuit);
+
+    EXPECT_NO_THROW(validateAgainstCircuit(storage.schedule, circuit));
+    EXPECT_EQ(storage.metrics.excitation_exposures, 0u);
+    EXPECT_GT(plain.metrics.excitation_exposures, 0u);
+    // The shuttling overhead the paper's Example 2 predicts.
+    EXPECT_GT(storage.metrics.exec_time.micros(),
+              plain.metrics.exec_time.micros());
+    EXPECT_GT(storage.schedule.numTransfers(),
+              plain.schedule.numTransfers());
+}
+
+TEST(EnolaStorageTest, PowerMoveStillWinsWithStorage)
+{
+    // The point of the paper's Example 2: even granting Enola a storage
+    // zone, the revert scheme loses to the continuous router.
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    EnolaOptions with;
+    with.use_storage = true;
+    const auto enola_ws = EnolaCompiler(machine, with).compile(circuit);
+    const auto pm_ws = PowerMoveCompiler(machine, {true, 1}).compile(circuit);
+    EXPECT_GT(pm_ws.metrics.fidelity(), enola_ws.metrics.fidelity());
+    EXPECT_LT(pm_ws.metrics.exec_time.micros(),
+              enola_ws.metrics.exec_time.micros());
+}
+
+/** Suite sweep: Enola schedules are valid and complete. */
+class EnolaSuiteProperty : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(EnolaSuiteProperty, SchedulesAreValidAndComplete)
+{
+    const auto spec = findBenchmark(GetParam());
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+    const auto result = EnolaCompiler(machine).compile(circuit);
+
+    EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit));
+    EXPECT_GT(result.metrics.fidelity(), 0.0);
+    EXPECT_EQ(result.schedule.numCzGates(), circuit.numCzGates());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, EnolaSuiteProperty,
+                         ::testing::Values("QAOA-regular3-30",
+                                           "QAOA-random-20", "QFT-18", "BV-14",
+                                           "VQE-30", "QSIM-rand-0.3-10"));
+
+/** The headline comparison: PowerMove beats the baseline. */
+class HeadlineProperty : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(HeadlineProperty, PowerMoveBeatsEnolaOnFidelityAndTime)
+{
+    const auto spec = findBenchmark(GetParam());
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    const auto enola = EnolaCompiler(machine).compile(circuit);
+    const auto ns = PowerMoveCompiler(machine, {false, 1}).compile(circuit);
+    const auto ws = PowerMoveCompiler(machine, {true, 1}).compile(circuit);
+
+    // Table 3 orderings: non-storage is faster than Enola, and the
+    // zoned flow has the highest fidelity of the three.
+    EXPECT_LT(ns.metrics.exec_time.micros(), enola.metrics.exec_time.micros());
+    EXPECT_GT(ns.metrics.fidelity(), enola.metrics.fidelity());
+    EXPECT_GT(ws.metrics.fidelity(), enola.metrics.fidelity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, HeadlineProperty,
+                         ::testing::Values("QAOA-regular3-30",
+                                           "QAOA-regular4-30", "QFT-18",
+                                           "BV-14", "BV-50", "VQE-30",
+                                           "QSIM-rand-0.3-10",
+                                           "QSIM-rand-0.3-20"));
+
+} // namespace
+} // namespace powermove

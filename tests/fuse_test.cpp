@@ -1,0 +1,192 @@
+/** @file Tests for commutation-aware block fusion. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/fuse.hpp"
+#include "circuit/stats.hpp"
+#include "compiler/powermove.hpp"
+#include "isa/validator.hpp"
+#include "qasm/converter.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(IsDiagonalTest, Classification)
+{
+    EXPECT_TRUE(isDiagonal(OneQKind::Z));
+    EXPECT_TRUE(isDiagonal(OneQKind::S));
+    EXPECT_TRUE(isDiagonal(OneQKind::Sdg));
+    EXPECT_TRUE(isDiagonal(OneQKind::T));
+    EXPECT_TRUE(isDiagonal(OneQKind::Tdg));
+    EXPECT_TRUE(isDiagonal(OneQKind::Rz));
+    EXPECT_FALSE(isDiagonal(OneQKind::H));
+    EXPECT_FALSE(isDiagonal(OneQKind::X));
+    EXPECT_FALSE(isDiagonal(OneQKind::Rx));
+    EXPECT_FALSE(isDiagonal(OneQKind::U));
+}
+
+TEST(FuseTest, DiagonalLayerBetweenBlocksMerges)
+{
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::Rz, 0, 0.5}); // diagonal: commutes
+    circuit.append(CzGate{2, 3});
+    const Circuit fused = fuseCommutableBlocks(circuit);
+    EXPECT_EQ(fused.numBlocks(), 1u);
+    EXPECT_EQ(fused.numCzGates(), 2u);
+    EXPECT_EQ(fused.numOneQGates(), 1u);
+}
+
+TEST(FuseTest, UntouchedQubitGateMerges)
+{
+    Circuit circuit(5);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::H, 4, 0.0}); // qubit 4 in no block
+    circuit.append(CzGate{2, 3});
+    EXPECT_EQ(fuseCommutableBlocks(circuit).numBlocks(), 1u);
+}
+
+TEST(FuseTest, HadamardOnSharedQubitBlocksFusion)
+{
+    Circuit circuit(2);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0}); // touches both blocks
+    circuit.append(CzGate{0, 1});
+    EXPECT_EQ(fuseCommutableBlocks(circuit).numBlocks(), 2u);
+}
+
+TEST(FuseTest, HoistableBeforeFirstBlockOnly)
+{
+    // H on qubit 2 is not in block 1 ({0,1}) so it hoists; the blocks
+    // merge even though qubit 2 is in block 2.
+    Circuit circuit(3);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::H, 2, 0.0});
+    circuit.append(CzGate{1, 2});
+    const Circuit fused = fuseCommutableBlocks(circuit);
+    EXPECT_EQ(fused.numBlocks(), 1u);
+    // The H must now precede the merged block.
+    EXPECT_TRUE(std::holds_alternative<OneQLayer>(fused.moments().front()));
+}
+
+TEST(FuseTest, SinkableAfterSecondBlockOnly)
+{
+    // X on qubit 0 is in block 1 (cannot hoist) but not in block 2
+    // (can sink): merge with the X emitted after.
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::X, 0, 0.0});
+    circuit.append(CzGate{2, 3});
+    const Circuit fused = fuseCommutableBlocks(circuit);
+    EXPECT_EQ(fused.numBlocks(), 1u);
+    EXPECT_TRUE(std::holds_alternative<CzBlock>(fused.moments().front()));
+    EXPECT_TRUE(std::holds_alternative<OneQLayer>(fused.moments().back()));
+}
+
+TEST(FuseTest, NonCommutingGateInBothBlocksPreventsFusion)
+{
+    // X on qubit 0 can neither hoist (block 1 touches 0) nor sink
+    // (block 2 touches 0): fusion must refuse.
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::X, 0, 0.0});
+    circuit.append(CzGate{0, 2});
+    EXPECT_EQ(fuseCommutableBlocks(circuit).numBlocks(), 2u);
+}
+
+TEST(FuseTest, SunkGatesKeepPerQubitOrder)
+{
+    // X(0) can only sink (in block 1, not in block 2); the later Rz(0)
+    // is hoist-eligible by kind but must follow the sunk X: both sink,
+    // order preserved in the trailing layer.
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::X, 0, 0.0});
+    circuit.append(OneQGate{OneQKind::Rz, 0, 0.3});
+    circuit.append(CzGate{2, 3});
+    const Circuit fused = fuseCommutableBlocks(circuit);
+    ASSERT_EQ(fused.numBlocks(), 1u);
+    const auto &layer = std::get<OneQLayer>(fused.moments().back());
+    ASSERT_EQ(layer.gates.size(), 2u);
+    EXPECT_EQ(layer.gates[0].kind, OneQKind::X);
+    EXPECT_EQ(layer.gates[1].kind, OneQKind::Rz);
+}
+
+TEST(FuseTest, ChainsOfBlocksCollapse)
+{
+    // Five blocks separated by diagonal gates collapse into one.
+    Circuit circuit(10);
+    for (QubitId q = 0; q + 1 < 10; q += 2) {
+        circuit.append(CzGate{q, static_cast<QubitId>(q + 1)});
+        circuit.append(OneQGate{OneQKind::T, q, 0.0});
+    }
+    const Circuit fused = fuseCommutableBlocks(circuit);
+    EXPECT_EQ(fused.numBlocks(), 1u);
+    EXPECT_EQ(fused.numCzGates(), 5u);
+}
+
+TEST(FuseTest, BarriersDissolve)
+{
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.barrier();
+    circuit.append(CzGate{2, 3});
+    EXPECT_EQ(circuit.numBlocks(), 2u);
+    EXPECT_EQ(fuseCommutableBlocks(circuit).numBlocks(), 1u);
+}
+
+TEST(FuseTest, CpDecompositionFusesBackToOneBlock)
+{
+    // cp lowers to rz-sprinkled CZ pairs: fusion recovers a single
+    // commutable block, halving the stage count.
+    const auto loaded = qasm::loadQasm(
+        "qreg q[2]; cp(0.5) q[0],q[1];");
+    EXPECT_EQ(loaded.circuit.numBlocks(), 2u);
+    const Circuit fused = fuseCommutableBlocks(loaded.circuit);
+    EXPECT_EQ(fused.numBlocks(), 2u); // H's on the target block fusion
+    // But a pure rzz chain fuses fully:
+    const auto rzz = qasm::loadQasm(
+        "qreg q[4]; rz(0.1) q[0]; cz q[0],q[1]; rz(0.2) q[1]; "
+        "cz q[2],q[3]; rz(0.3) q[3]; cz q[0],q[2];");
+    const Circuit rzz_fused = fuseCommutableBlocks(rzz.circuit);
+    EXPECT_EQ(rzz_fused.numBlocks(), 1u);
+}
+
+TEST(FuseTest, FusedCircuitsCompileAndValidate)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Circuit original = spec.build();
+    const Circuit fused = fuseCommutableBlocks(original);
+    EXPECT_LE(fused.numBlocks(), original.numBlocks());
+    EXPECT_EQ(fused.numCzGates(), original.numCzGates());
+
+    const Machine machine(spec.machine_config);
+    const auto result = PowerMoveCompiler(machine).compile(fused);
+    EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, fused));
+}
+
+TEST(FuseTest, SuiteWideInvariants)
+{
+    for (const auto &spec : table2Suite()) {
+        const Circuit original = spec.build();
+        const Circuit fused = fuseCommutableBlocks(original);
+        EXPECT_EQ(fused.numCzGates(), original.numCzGates()) << spec.name;
+        EXPECT_EQ(fused.numOneQGates(), original.numOneQGates())
+            << spec.name;
+        EXPECT_LE(fused.numBlocks(), original.numBlocks()) << spec.name;
+    }
+}
+
+TEST(FuseTest, EmptyAndOneQOnlyCircuits)
+{
+    EXPECT_TRUE(fuseCommutableBlocks(Circuit(3)).empty());
+    Circuit only_1q(2);
+    only_1q.append(OneQGate{OneQKind::H, 0, 0.0});
+    const Circuit fused = fuseCommutableBlocks(only_1q);
+    EXPECT_EQ(fused.numOneQGates(), 1u);
+    EXPECT_EQ(fused.numBlocks(), 0u);
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,71 @@
+/** @file Unit tests for grid and physical geometry. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/geometry.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(SiteCoordTest, EqualityAndOrdering)
+{
+    EXPECT_EQ((SiteCoord{1, 2}), (SiteCoord{1, 2}));
+    EXPECT_NE((SiteCoord{1, 2}), (SiteCoord{2, 1}));
+    EXPECT_LT((SiteCoord{1, 2}), (SiteCoord{1, 3}));
+    EXPECT_LT((SiteCoord{1, 2}), (SiteCoord{2, 0}));
+}
+
+TEST(SiteCoordTest, HashDistinguishesCoordinates)
+{
+    std::unordered_set<SiteCoord> set;
+    for (std::int32_t x = -3; x <= 3; ++x) {
+        for (std::int32_t y = -3; y <= 3; ++y)
+            set.insert(SiteCoord{x, y});
+    }
+    EXPECT_EQ(set.size(), 49u);
+}
+
+TEST(GeometryTest, EuclideanAxisAligned)
+{
+    EXPECT_DOUBLE_EQ(
+        euclidean(PhysCoord{0, 0}, PhysCoord{0, 30}).microns(), 30.0);
+    EXPECT_DOUBLE_EQ(
+        euclidean(PhysCoord{15, 0}, PhysCoord{0, 0}).microns(), 15.0);
+}
+
+TEST(GeometryTest, EuclideanDiagonal)
+{
+    EXPECT_DOUBLE_EQ(
+        euclidean(PhysCoord{0, 0}, PhysCoord{3, 4}).microns(), 5.0);
+}
+
+TEST(GeometryTest, EuclideanSelfIsZero)
+{
+    EXPECT_DOUBLE_EQ(
+        euclidean(PhysCoord{7, 9}, PhysCoord{7, 9}).microns(), 0.0);
+}
+
+TEST(GeometryTest, ManhattanDistance)
+{
+    EXPECT_EQ(manhattan(SiteCoord{0, 0}, SiteCoord{2, 3}), 5);
+    EXPECT_EQ(manhattan(SiteCoord{-1, -1}, SiteCoord{1, 1}), 4);
+    EXPECT_EQ(manhattan(SiteCoord{5, 5}, SiteCoord{5, 5}), 0);
+}
+
+TEST(GeometryTest, ChebyshevDistance)
+{
+    EXPECT_EQ(chebyshev(SiteCoord{0, 0}, SiteCoord{2, 3}), 3);
+    EXPECT_EQ(chebyshev(SiteCoord{4, 0}, SiteCoord{0, 1}), 4);
+}
+
+TEST(GeometryTest, StreamOutput)
+{
+    std::ostringstream os;
+    os << SiteCoord{2, 5};
+    EXPECT_EQ(os.str(), "(2,5)");
+}
+
+} // namespace
+} // namespace powermove

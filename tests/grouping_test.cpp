@@ -1,0 +1,177 @@
+/** @file Tests for distance-aware Coll-Move grouping (Sec. 5.3). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "route/conflict.hpp"
+#include "route/grouping.hpp"
+
+namespace powermove {
+namespace {
+
+class GroupingTest : public ::testing::Test
+{
+  protected:
+    GroupingTest() : machine_(MachineConfig::forQubits(64)) {}
+
+    QubitMove
+    move(QubitId q, SiteCoord from, SiteCoord to) const
+    {
+        return QubitMove{q, machine_.siteAt(from), machine_.siteAt(to)};
+    }
+
+    Machine machine_;
+};
+
+TEST_F(GroupingTest, EmptyInput)
+{
+    EXPECT_TRUE(groupMoves(machine_, {}).empty());
+}
+
+TEST_F(GroupingTest, SingleMove)
+{
+    const auto groups = groupMoves(machine_, {move(0, {0, 0}, {1, 0})});
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].moves.size(), 1u);
+}
+
+TEST_F(GroupingTest, CompatibleMovesShareOneGroup)
+{
+    const auto groups = groupMoves(machine_, {
+        move(0, {0, 0}, {0, 1}),
+        move(1, {2, 0}, {2, 1}),
+        move(2, {4, 0}, {4, 1}),
+    });
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].moves.size(), 3u);
+}
+
+TEST_F(GroupingTest, CrossingMovesSplit)
+{
+    const auto groups = groupMoves(machine_, {
+        move(0, {0, 0}, {4, 0}),
+        move(1, {4, 1}, {0, 1}),
+    });
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST_F(GroupingTest, AllGroupsAreConflictFree)
+{
+    Rng rng(123);
+    std::vector<QubitMove> moves;
+    for (QubitId q = 0; q < 30; ++q) {
+        const SiteCoord from{static_cast<std::int32_t>(rng.nextBelow(8)),
+                             static_cast<std::int32_t>(rng.nextBelow(8))};
+        SiteCoord to{static_cast<std::int32_t>(rng.nextBelow(8)),
+                     static_cast<std::int32_t>(rng.nextBelow(8))};
+        moves.push_back(move(q, from, to));
+    }
+    const auto groups = groupMoves(machine_, moves);
+    std::size_t total = 0;
+    for (const auto &group : groups) {
+        EXPECT_TRUE(isValidCollMove(machine_, group));
+        EXPECT_FALSE(group.moves.empty());
+        total += group.moves.size();
+    }
+    EXPECT_EQ(total, moves.size());
+}
+
+TEST_F(GroupingTest, FirstGroupHoldsShortestMove)
+{
+    const auto groups = groupMoves(machine_, {
+        move(0, {0, 0}, {7, 7}), // long
+        move(1, {0, 1}, {0, 2}), // short
+    });
+    ASSERT_FALSE(groups.empty());
+    // Ascending-distance processing seeds the first group with the
+    // shortest move.
+    EXPECT_EQ(groups[0].moves[0].qubit, 1u);
+}
+
+TEST_F(GroupingTest, DistanceSortingBalancesGroupLengths)
+{
+    // Two short parallel moves and two long parallel moves that each
+    // conflict with the short ones: distance-aware grouping pairs
+    // short-with-short and long-with-long.
+    const auto groups = groupMoves(machine_, {
+        move(0, {0, 0}, {0, 1}),  // short, down
+        move(1, {2, 0}, {2, 1}),  // short, down
+        move(2, {4, 6}, {4, 0}),  // long, up (y-order conflict with short)
+        move(3, {6, 6}, {6, 0}),  // long, up
+    });
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].moves.size(), 2u);
+    EXPECT_EQ(groups[1].moves.size(), 2u);
+    // Each group is homogeneous in direction.
+    for (const auto &group : groups) {
+        const auto dir = machine_.coordOf(group.moves[0].to).y -
+                         machine_.coordOf(group.moves[0].from).y;
+        for (const auto &m : group.moves) {
+            const auto d =
+                machine_.coordOf(m.to).y - machine_.coordOf(m.from).y;
+            EXPECT_EQ((d > 0), (dir > 0));
+        }
+    }
+}
+
+TEST_F(GroupingTest, DeterministicForEqualInput)
+{
+    const std::vector<QubitMove> moves = {
+        move(0, {0, 0}, {3, 3}),
+        move(1, {1, 0}, {1, 5}),
+        move(2, {5, 5}, {0, 0}),
+    };
+    const auto a = groupMoves(machine_, moves);
+    const auto b = groupMoves(machine_, moves);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].moves, b[i].moves);
+}
+
+TEST_F(GroupingTest, CollMoveAccessors)
+{
+    CollMove group;
+    group.moves = {move(0, {0, 0}, {0, 5}),
+                   move(1, {2, 0}, {2, 1})};
+    EXPECT_DOUBLE_EQ(group.maxDistance(machine_).microns(), 75.0);
+
+    // Storage round trips: one in, one out.
+    const SiteId storage = machine_.storageSites().front();
+    CollMove zone_moves;
+    zone_moves.moves = {QubitMove{0, 0, storage}, QubitMove{1, storage, 0}};
+    EXPECT_EQ(zone_moves.countMoveIns(machine_), 1u);
+    EXPECT_EQ(zone_moves.countMoveOuts(machine_), 1u);
+}
+
+/** Property: grouping never exceeds the move count and is conflict-free. */
+class GroupingProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GroupingProperty, RandomBatches)
+{
+    const Machine machine(MachineConfig::forQubits(49));
+    Rng rng(GetParam());
+    std::vector<QubitMove> moves;
+    const auto sites = machine.numSites();
+    for (QubitId q = 0; q < 40; ++q) {
+        const auto from = static_cast<SiteId>(rng.nextBelow(sites));
+        const auto to = static_cast<SiteId>(rng.nextBelow(sites));
+        moves.push_back(QubitMove{q, from, to});
+    }
+    const auto groups = groupMoves(machine, moves);
+    EXPECT_LE(groups.size(), moves.size());
+    std::size_t total = 0;
+    for (const auto &group : groups) {
+        EXPECT_TRUE(isValidCollMove(machine, group));
+        total += group.moves.size();
+    }
+    EXPECT_EQ(total, moves.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupingProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+} // namespace
+} // namespace powermove

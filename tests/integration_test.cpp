@@ -1,0 +1,158 @@
+/** @file Cross-module integration tests, including the Fig. 3 scenario. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/powermove.hpp"
+#include "enola/enola.hpp"
+#include "fidelity/evaluator.hpp"
+#include "isa/validator.hpp"
+#include "qasm/converter.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove {
+namespace {
+
+/**
+ * The motivating example of paper Fig. 3: stage 1 executes (1,2), (3,4),
+ * (5,6); stage 2 executes (2,3) and (4,5). A direct transition without
+ * care clusters qubits 4,5,6 (Fig. 3b); the continuous router must
+ * resolve it without reverting to the initial layout.
+ */
+TEST(Fig3ScenarioTest, ContinuousRouterAvoidsClustering)
+{
+    Circuit circuit(6, "fig3");
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{2, 3});
+    circuit.append(CzGate{4, 5});
+    circuit.barrier(); // stage boundary as drawn in the figure
+    circuit.append(CzGate{1, 2});
+    circuit.append(CzGate{3, 4});
+
+    const Machine machine(MachineConfig::forQubits(6));
+    for (const bool storage : {false, true}) {
+        const PowerMoveCompiler compiler(machine, {storage, 1});
+        const auto result = compiler.compile(circuit);
+        // The validator enforces exactly the no-clustering rule the
+        // figure is about: co-located non-gate pairs fail validation.
+        EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit));
+        EXPECT_EQ(result.num_stages, 2u);
+    }
+}
+
+TEST(Fig3ScenarioTest, EnolaRevertsAndPaysTwoLegs)
+{
+    Circuit circuit(6, "fig3");
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{2, 3});
+    circuit.append(CzGate{4, 5});
+    circuit.barrier();
+    circuit.append(CzGate{1, 2});
+    circuit.append(CzGate{3, 4});
+
+    const Machine machine(MachineConfig::forQubits(6));
+    const auto enola = EnolaCompiler(machine).compile(circuit);
+    const auto ours = PowerMoveCompiler(machine, {false, 1}).compile(circuit);
+    EXPECT_NO_THROW(validateAgainstCircuit(enola.schedule, circuit));
+    // Enola moves every gate's mover out *and* back: 2 moves per gate.
+    EXPECT_EQ(enola.schedule.numQubitMoves(), 10u);
+    EXPECT_LT(ours.schedule.numQubitMoves(), enola.schedule.numQubitMoves());
+}
+
+TEST(IntegrationTest, QasmPipelineEndToEnd)
+{
+    // Compile a hand-written QASM program through the full stack.
+    const auto loaded = qasm::loadQasm(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "qreg q[6];\n"
+        "h q;\n"
+        "cx q[0],q[1];\n"
+        "cx q[2],q[3];\n"
+        "cz q[4],q[5];\n"
+        "rz(pi/8) q[0];\n"
+        "cz q[1],q[2];\n");
+    const Machine machine(MachineConfig::forQubits(6));
+    const auto result = PowerMoveCompiler(machine).compile(loaded.circuit);
+    EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, loaded.circuit));
+    EXPECT_GT(result.metrics.fidelity(), 0.5);
+}
+
+TEST(IntegrationTest, EvaluatorAgreesWithCompilerMetrics)
+{
+    const auto spec = findBenchmark("VQE-30");
+    const Machine machine(spec.machine_config);
+    const auto result = PowerMoveCompiler(machine).compile(spec.build());
+    const auto re_evaluated = evaluateSchedule(result.schedule);
+    EXPECT_DOUBLE_EQ(re_evaluated.fidelity(), result.metrics.fidelity());
+    EXPECT_DOUBLE_EQ(re_evaluated.exec_time.micros(),
+                     result.metrics.exec_time.micros());
+}
+
+TEST(IntegrationTest, StorageTradesTimeForFidelityOnExcitationHeavyLoads)
+{
+    // QSim has many pulses with mostly idle qubits: storage should cost
+    // execution time but win fidelity by a wide margin (Table 3).
+    const auto spec = findBenchmark("QSIM-rand-0.3-20");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+
+    const auto ns = PowerMoveCompiler(machine, {false, 1}).compile(circuit);
+    const auto ws = PowerMoveCompiler(machine, {true, 1}).compile(circuit);
+    EXPECT_GT(ws.metrics.exec_time.micros(), ns.metrics.exec_time.micros());
+    EXPECT_GT(ws.metrics.fidelity(), 4.0 * ns.metrics.fidelity());
+}
+
+TEST(IntegrationTest, StageCountsMatchAcrossCompilers)
+{
+    // Both compilers use near-optimal scheduling; on QAOA instances the
+    // stage counts should agree to within one stage.
+    const auto spec = findBenchmark("QAOA-regular3-30");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+    const auto ours = PowerMoveCompiler(machine).compile(circuit);
+    const auto enola = EnolaCompiler(machine).compile(circuit);
+    const auto diff = ours.num_stages > enola.num_stages
+                          ? ours.num_stages - enola.num_stages
+                          : enola.num_stages - ours.num_stages;
+    EXPECT_LE(diff, 1u);
+}
+
+TEST(IntegrationTest, BiggerMachineStillValidates)
+{
+    // Run a small circuit on a much larger machine than required.
+    MachineConfig config = MachineConfig::forQubits(100);
+    const Machine machine(config);
+    Circuit circuit(10);
+    for (QubitId q = 0; q + 1 < 10; q += 2)
+        circuit.append(CzGate{q, static_cast<QubitId>(q + 1)});
+    const auto result = PowerMoveCompiler(machine).compile(circuit);
+    EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit));
+}
+
+TEST(IntegrationTest, AlphaSweepPreservesValidity)
+{
+    const auto spec = findBenchmark("QAOA-regular3-30");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+    for (const double alpha : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+        const PowerMoveCompiler compiler(machine, {true, 1, alpha});
+        const auto result = compiler.compile(circuit);
+        EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit))
+            << "alpha=" << alpha;
+    }
+}
+
+TEST(IntegrationTest, MultiAodSchedulesRemainValid)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-20");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+    for (const std::size_t aods : {1u, 2u, 3u, 4u}) {
+        const auto result =
+            PowerMoveCompiler(machine, {true, aods}).compile(circuit);
+        EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit));
+    }
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,79 @@
+/** @file Tests for the ASCII layout renderer. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "report/layout_vis.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(LayoutVisTest, EmptyMachineRendersDots)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    const auto text = renderPositions(machine, {});
+    // 2x2 compute, gap, 2x4 storage: all sites empty.
+    EXPECT_NE(text.find("compute"), std::string::npos);
+    EXPECT_NE(text.find("storage"), std::string::npos);
+    EXPECT_NE(text.find(". ."), std::string::npos);
+    EXPECT_NE(text.find("~"), std::string::npos); // gap rows
+}
+
+TEST(LayoutVisTest, QubitsShowTheirIds)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    // Qubits 0..3 on the 2x2 compute grid, row-major.
+    const auto text = renderPositions(machine, {0, 1, 2, 3});
+    EXPECT_NE(text.find("0 1"), std::string::npos);
+    EXPECT_NE(text.find("2 3"), std::string::npos);
+}
+
+TEST(LayoutVisTest, PairShowsAtSign)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    const auto text = renderPositions(machine, {0, 0});
+    EXPECT_NE(text.find('@'), std::string::npos);
+}
+
+TEST(LayoutVisTest, QubitIdsWrapAtTen)
+{
+    const Machine machine(MachineConfig::forQubits(16));
+    std::vector<SiteId> positions(13);
+    for (QubitId q = 0; q < 13; ++q)
+        positions[q] = q;
+    const auto text = renderPositions(machine, positions);
+    // Qubit 12 renders as '2' (mod 10); ensure no crash and its row
+    // exists.
+    EXPECT_NE(text.find("compute"), std::string::npos);
+}
+
+TEST(LayoutVisTest, RendersLayoutObject)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Layout layout(machine, 4);
+    placeRowMajor(layout, ZoneKind::Storage);
+    const auto text = renderLayout(layout);
+    EXPECT_NE(text.find("storage"), std::string::npos);
+    EXPECT_NE(text.find('0'), std::string::npos);
+    EXPECT_NE(text.find('3'), std::string::npos);
+}
+
+TEST(LayoutVisTest, UnplacedLayoutRejected)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    const Layout layout(machine, 2);
+    EXPECT_THROW(renderLayout(layout), InternalError);
+}
+
+TEST(LayoutVisTest, LineCountMatchesMachineRows)
+{
+    const Machine machine(MachineConfig::forQubits(9)); // 3+2+6 rows
+    const auto text = renderPositions(machine, {});
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 11u);
+}
+
+} // namespace
+} // namespace powermove

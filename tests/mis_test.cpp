@@ -1,0 +1,122 @@
+/** @file Tests for the MIS machinery of the Enola baseline. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "enola/mis.hpp"
+#include "route/conflict.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(MisPartitionTest, EmptyInput)
+{
+    EXPECT_TRUE(misPartition(0, [](std::size_t, std::size_t) {
+                    return false;
+                }).empty());
+}
+
+TEST(MisPartitionTest, NoConflictsYieldOneGroup)
+{
+    const auto groups =
+        misPartition(5, [](std::size_t, std::size_t) { return false; });
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 5u);
+}
+
+TEST(MisPartitionTest, CliqueYieldsSingletons)
+{
+    const auto groups =
+        misPartition(4, [](std::size_t, std::size_t) { return true; });
+    EXPECT_EQ(groups.size(), 4u);
+}
+
+TEST(MisPartitionTest, CoversEveryIndexExactlyOnce)
+{
+    const auto conflict = [](std::size_t a, std::size_t b) {
+        return (a + b) % 3 == 0;
+    };
+    const auto groups = misPartition(12, conflict);
+    std::vector<std::size_t> seen;
+    for (const auto &group : groups) {
+        for (const std::size_t index : group) {
+            seen.push_back(index);
+            for (const std::size_t other : group) {
+                if (index != other) {
+                    EXPECT_FALSE(conflict(index, other));
+                }
+            }
+        }
+    }
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(MisPartitionTest, FirstGroupIsMaximal)
+{
+    // Path conflict graph 0-1-2-3-4: the greedy MIS picks {0,2,4}.
+    const auto conflict = [](std::size_t a, std::size_t b) {
+        return (a > b ? a - b : b - a) == 1;
+    };
+    const auto groups = misPartition(5, conflict);
+    ASSERT_GE(groups.size(), 2u);
+    EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(PartitionStagesByMisTest, EmptyBlock)
+{
+    EXPECT_TRUE(partitionStagesByMis(CzBlock{}, 4).empty());
+}
+
+TEST(PartitionStagesByMisTest, StagesDisjointAndComplete)
+{
+    CzBlock block;
+    block.gates = {CzGate{0, 1}, CzGate{1, 2}, CzGate{2, 3}, CzGate{3, 4},
+                   CzGate{0, 4}};
+    const auto stages = partitionStagesByMis(block, 5);
+    std::size_t total = 0;
+    for (const auto &stage : stages) {
+        EXPECT_TRUE(stage.qubitsDisjoint());
+        total += stage.gates.size();
+    }
+    EXPECT_EQ(total, block.gates.size());
+    // A 5-cycle needs 3 matchings.
+    EXPECT_EQ(stages.size(), 3u);
+}
+
+TEST(PartitionStagesByMisTest, DisjointGatesShareOneStage)
+{
+    CzBlock block;
+    block.gates = {CzGate{0, 1}, CzGate{2, 3}, CzGate{4, 5}};
+    const auto stages = partitionStagesByMis(block, 6);
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].gates.size(), 3u);
+}
+
+TEST(GroupMovesByMisTest, GroupsAreConflictFreeAndComplete)
+{
+    const Machine machine(MachineConfig::forQubits(16));
+    std::vector<QubitMove> moves = {
+        {0, 0, 5},  {1, 1, 4},  {2, 2, 7},
+        {3, 3, 6},  {4, 8, 13}, {5, 9, 12},
+    };
+    const auto groups = groupMovesByMis(machine, moves);
+    std::size_t total = 0;
+    for (const auto &group : groups) {
+        EXPECT_TRUE(isValidCollMove(machine, group));
+        total += group.moves.size();
+    }
+    EXPECT_EQ(total, moves.size());
+}
+
+TEST(GroupMovesByMisTest, EmptyMoves)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    EXPECT_TRUE(groupMovesByMis(machine, {}).empty());
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,190 @@
+/** @file Mutation testing of the hardware validator.
+ *
+ * Compiles valid programs, then applies targeted corruptions to the
+ * schedule and asserts the validator rejects every one of them. This
+ * pins down that the safety net the whole test suite leans on (schedule
+ * validation) actually has teeth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compiler/powermove.hpp"
+#include "isa/validator.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove {
+namespace {
+
+/** Rebuilds a schedule applying @p mutate to each instruction. */
+template <typename MutateFn>
+MachineSchedule
+rebuild(const MachineSchedule &original, MutateFn &&mutate)
+{
+    MachineSchedule copy(original.machine(), original.initialSites());
+    std::size_t index = 0;
+    for (const auto &instruction : original.instructions()) {
+        Instruction cloned = instruction;
+        mutate(index, cloned);
+        if (const auto *layer = std::get_if<OneQLayerOp>(&cloned))
+            copy.addOneQLayer(layer->gate_count, layer->depth);
+        else if (const auto *op = std::get_if<MoveBatchOp>(&cloned))
+            copy.addMoveBatch(op->batch);
+        else
+            copy.addRydberg(std::get<RydbergOp>(cloned).gates,
+                            std::get<RydbergOp>(cloned).block_index);
+        ++index;
+    }
+    return copy;
+}
+
+class MutationTest : public ::testing::Test
+{
+  protected:
+    MutationTest()
+        : spec_(findBenchmark("QSIM-rand-0.3-10")),
+          machine_(spec_.machine_config), circuit_(spec_.build()),
+          result_(PowerMoveCompiler(machine_, {true, 1}).compile(circuit_))
+    {}
+
+    BenchmarkSpec spec_;
+    Machine machine_;
+    Circuit circuit_;
+    CompileResult result_;
+};
+
+TEST_F(MutationTest, BaselineIsValid)
+{
+    EXPECT_NO_THROW(validateAgainstCircuit(result_.schedule, circuit_));
+}
+
+TEST_F(MutationTest, DroppingAMoveIsCaught)
+{
+    // Removing the first move of the first batch breaks a later "from".
+    bool dropped = false;
+    const auto mutated = rebuild(result_.schedule, [&](std::size_t,
+                                                       Instruction &ins) {
+        auto *op = std::get_if<MoveBatchOp>(&ins);
+        if (op == nullptr || dropped)
+            return;
+        auto &moves = op->batch.groups.front().moves;
+        if (!moves.empty()) {
+            moves.erase(moves.begin());
+            dropped = true;
+        }
+    });
+    ASSERT_TRUE(dropped);
+    EXPECT_THROW(validateSchedule(mutated), ValidationError);
+}
+
+TEST_F(MutationTest, RetargetingAMoveIsCaught)
+{
+    // Redirect one relocation to a far site: either a later departure
+    // mismatches or a pulse loses co-location.
+    bool changed = false;
+    const auto mutated = rebuild(result_.schedule, [&](std::size_t,
+                                                       Instruction &ins) {
+        auto *op = std::get_if<MoveBatchOp>(&ins);
+        if (op == nullptr || changed)
+            return;
+        auto &move = op->batch.groups.front().moves.front();
+        move.to = move.to == 0 ? 1 : 0;
+        changed = true;
+    });
+    ASSERT_TRUE(changed);
+    EXPECT_THROW(validateAgainstCircuit(mutated, circuit_),
+                 ValidationError);
+}
+
+TEST_F(MutationTest, DroppingAPulseIsCaught)
+{
+    MachineSchedule copy(machine_, result_.schedule.initialSites());
+    bool skipped = false;
+    for (const auto &instruction : result_.schedule.instructions()) {
+        if (!skipped && std::holds_alternative<RydbergOp>(instruction)) {
+            skipped = true;
+            continue;
+        }
+        if (const auto *layer = std::get_if<OneQLayerOp>(&instruction))
+            copy.addOneQLayer(layer->gate_count, layer->depth);
+        else if (const auto *op = std::get_if<MoveBatchOp>(&instruction))
+            copy.addMoveBatch(op->batch);
+        else
+            copy.addRydberg(std::get<RydbergOp>(instruction).gates,
+                            std::get<RydbergOp>(instruction).block_index);
+    }
+    ASSERT_TRUE(skipped);
+    EXPECT_THROW(validateAgainstCircuit(copy, circuit_), ValidationError);
+}
+
+TEST_F(MutationTest, SwappingPulseGateIsCaught)
+{
+    // Replace a pulse's gate with a different qubit pair.
+    bool swapped = false;
+    const auto mutated = rebuild(result_.schedule, [&](std::size_t,
+                                                       Instruction &ins) {
+        auto *pulse = std::get_if<RydbergOp>(&ins);
+        if (pulse == nullptr || swapped)
+            return;
+        auto &gate = pulse->gates.front();
+        gate = CzGate{gate.a,
+                      static_cast<QubitId>((gate.b + 1) % 10) == gate.a
+                          ? static_cast<QubitId>((gate.b + 2) % 10)
+                          : static_cast<QubitId>((gate.b + 1) % 10)};
+        swapped = true;
+    });
+    ASSERT_TRUE(swapped);
+    EXPECT_THROW(validateAgainstCircuit(mutated, circuit_),
+                 ValidationError);
+}
+
+TEST_F(MutationTest, CorruptingBlockIndexIsCaught)
+{
+    bool changed = false;
+    const auto mutated = rebuild(result_.schedule, [&](std::size_t,
+                                                       Instruction &ins) {
+        auto *pulse = std::get_if<RydbergOp>(&ins);
+        if (pulse == nullptr || changed)
+            return;
+        pulse->block_index += 1000;
+        changed = true;
+    });
+    ASSERT_TRUE(changed);
+    EXPECT_THROW(validateAgainstCircuit(mutated, circuit_),
+                 ValidationError);
+}
+
+TEST_F(MutationTest, InflatingOneQCountIsCaught)
+{
+    const auto mutated = rebuild(result_.schedule,
+                                 [&](std::size_t, Instruction &ins) {
+                                     auto *layer =
+                                         std::get_if<OneQLayerOp>(&ins);
+                                     if (layer != nullptr)
+                                         ++layer->gate_count;
+                                 });
+    EXPECT_THROW(validateAgainstCircuit(mutated, circuit_),
+                 ValidationError);
+}
+
+TEST_F(MutationTest, WrongInitialSiteIsCaught)
+{
+    auto initial = result_.schedule.initialSites();
+    // Move qubit 0's start somewhere else: the first departure of
+    // qubit 0 will mismatch (every qubit moves in this workload).
+    initial[0] = initial[0] == 0 ? 1 : 0;
+    MachineSchedule copy(machine_, initial);
+    for (const auto &instruction : result_.schedule.instructions()) {
+        if (const auto *layer = std::get_if<OneQLayerOp>(&instruction))
+            copy.addOneQLayer(layer->gate_count, layer->depth);
+        else if (const auto *op = std::get_if<MoveBatchOp>(&instruction))
+            copy.addMoveBatch(op->batch);
+        else
+            copy.addRydberg(std::get<RydbergOp>(instruction).gates,
+                            std::get<RydbergOp>(instruction).block_index);
+    }
+    EXPECT_THROW(validateSchedule(copy), ValidationError);
+}
+
+} // namespace
+} // namespace powermove

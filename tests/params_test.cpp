@@ -1,0 +1,72 @@
+/** @file Tests for the Table 1 hardware parameters and the movement law. */
+
+#include <gtest/gtest.h>
+
+#include "arch/params.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(HardwareParamsTest, Table1Defaults)
+{
+    const HardwareParams p;
+    EXPECT_DOUBLE_EQ(p.f_one_q, 0.9999);
+    EXPECT_DOUBLE_EQ(p.f_cz, 0.995);
+    EXPECT_DOUBLE_EQ(p.f_excitation, 0.9975);
+    EXPECT_DOUBLE_EQ(p.f_transfer, 0.999);
+    EXPECT_DOUBLE_EQ(p.t_one_q.micros(), 1.0);
+    EXPECT_DOUBLE_EQ(p.t_cz.micros(), 0.27);
+    EXPECT_DOUBLE_EQ(p.t_transfer.micros(), 15.0);
+    EXPECT_DOUBLE_EQ(p.t2.seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(p.site_pitch.microns(), 15.0);
+    EXPECT_DOUBLE_EQ(p.zone_gap.microns(), 30.0);
+    EXPECT_DOUBLE_EQ(p.rydberg_radius.microns(), 6.0);
+    EXPECT_DOUBLE_EQ(p.min_idle_separation.microns(), 10.0);
+    EXPECT_DOUBLE_EQ(p.max_acceleration, 2750.0);
+}
+
+TEST(MoveDurationTest, PaperCalibrationPoints)
+{
+    // Table 1: "e.g. 100us (200us) for 27.5um (110um)".
+    const HardwareParams p;
+    EXPECT_NEAR(p.moveDuration(Distance::microns(27.5)).micros(), 100.0, 1e-9);
+    EXPECT_NEAR(p.moveDuration(Distance::microns(110.0)).micros(), 200.0,
+                1e-9);
+}
+
+TEST(MoveDurationTest, ZeroAndNegativeDistanceIsFree)
+{
+    const HardwareParams p;
+    EXPECT_DOUBLE_EQ(p.moveDuration(Distance::microns(0.0)).micros(), 0.0);
+    EXPECT_DOUBLE_EQ(p.moveDuration(Distance::microns(-5.0)).micros(), 0.0);
+}
+
+TEST(MoveDurationTest, SquareRootScaling)
+{
+    const HardwareParams p;
+    const double t1 = p.moveDuration(Distance::microns(10.0)).micros();
+    const double t4 = p.moveDuration(Distance::microns(40.0)).micros();
+    EXPECT_NEAR(t4 / t1, 2.0, 1e-9);
+}
+
+TEST(MoveDurationTest, MonotoneInDistance)
+{
+    const HardwareParams p;
+    double previous = 0.0;
+    for (double d = 5.0; d <= 300.0; d += 5.0) {
+        const double t = p.moveDuration(Distance::microns(d)).micros();
+        EXPECT_GT(t, previous);
+        previous = t;
+    }
+}
+
+TEST(MoveDurationTest, CustomReferenceParameters)
+{
+    HardwareParams p;
+    p.move_t_ref = Duration::micros(100.0);
+    p.move_d_ref = Distance::microns(100.0);
+    EXPECT_NEAR(p.moveDuration(Distance::microns(25.0)).micros(), 50.0, 1e-9);
+}
+
+} // namespace
+} // namespace powermove

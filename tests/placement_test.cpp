@@ -1,0 +1,87 @@
+/** @file Tests for the Enola simulated-annealing placement. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "enola/placement.hpp"
+#include "workloads/qaoa.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(PlacementCostTest, SumsGateDistances)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(3);
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{1, 2});
+    // Homes on one row: 0 at (0,0), 1 at (1,0), 2 at (2,0).
+    const std::vector<SiteId> home = {0, 1, 2};
+    EXPECT_DOUBLE_EQ(placementCost(machine, circuit, home), 30.0);
+}
+
+TEST(AnnealPlacementTest, ProducesDistinctComputeHomes)
+{
+    const Machine machine(MachineConfig::forQubits(16));
+    const Circuit circuit = makeQaoaRegular(16, 3, 1, 5);
+    Rng rng(1);
+    const auto home = annealPlacement(machine, circuit, rng);
+
+    ASSERT_EQ(home.size(), 16u);
+    for (const SiteId site : home)
+        EXPECT_EQ(machine.zoneOf(site), ZoneKind::Compute);
+    auto sorted = home;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+}
+
+TEST(AnnealPlacementTest, ImprovesOnRowMajorCost)
+{
+    const Machine machine(MachineConfig::forQubits(30));
+    const Circuit circuit = makeQaoaRegular(30, 3, 1, 7);
+    std::vector<SiteId> row_major(30);
+    for (QubitId q = 0; q < 30; ++q)
+        row_major[q] = q;
+
+    Rng rng(3);
+    const auto annealed = annealPlacement(machine, circuit, rng);
+    EXPECT_LT(placementCost(machine, circuit, annealed),
+              placementCost(machine, circuit, row_major));
+}
+
+TEST(AnnealPlacementTest, ZeroIterationsKeepsRowMajor)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 3});
+    Rng rng(2);
+    PlacementOptions options;
+    options.iterations = 0;
+    const auto home = annealPlacement(machine, circuit, rng, options);
+    for (QubitId q = 0; q < 4; ++q)
+        EXPECT_EQ(home[q], q);
+}
+
+TEST(AnnealPlacementTest, RejectsOversizedCircuit)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    const Circuit circuit(9);
+    Rng rng(2);
+    EXPECT_THROW(annealPlacement(machine, circuit, rng), ConfigError);
+}
+
+TEST(AnnealPlacementTest, DeterministicForFixedSeed)
+{
+    const Machine machine(MachineConfig::forQubits(16));
+    const Circuit circuit = makeQaoaRegular(16, 3, 1, 5);
+    Rng rng_a(9);
+    Rng rng_b(9);
+    EXPECT_EQ(annealPlacement(machine, circuit, rng_a),
+              annealPlacement(machine, circuit, rng_b));
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,75 @@
+/** @file Tests for the schedule pretty-printer. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/powermove.hpp"
+#include "isa/printer.hpp"
+
+namespace powermove {
+namespace {
+
+MachineSchedule
+sampleSchedule(const Machine &machine)
+{
+    MachineSchedule schedule(machine, {0, 1, 2, 3});
+    schedule.addOneQLayer(4, 1);
+    AodBatch batch;
+    batch.groups.push_back(CollMove{{{1, 1, 0}}});
+    batch.groups.push_back(CollMove{{{3, 3, 2}}});
+    schedule.addMoveBatch(batch);
+    schedule.addRydberg({CzGate{0, 1}, CzGate{2, 3}}, 0);
+    return schedule;
+}
+
+TEST(PrinterTest, MentionsEveryInstructionKind)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    const auto text = formatSchedule(sampleSchedule(machine));
+    EXPECT_NE(text.find("1q-layer"), std::string::npos);
+    EXPECT_NE(text.find("move-batch"), std::string::npos);
+    EXPECT_NE(text.find("rydberg"), std::string::npos);
+    EXPECT_NE(text.find("aod0:"), std::string::npos);
+    EXPECT_NE(text.find("aod1:"), std::string::npos);
+    EXPECT_NE(text.find("(0,1)"), std::string::npos); // gate listing
+}
+
+TEST(PrinterTest, HeaderSummarizesCounts)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    const auto text = formatSchedule(sampleSchedule(machine));
+    EXPECT_NE(text.find("4 qubits"), std::string::npos);
+    EXPECT_NE(text.find("3 instructions"), std::string::npos);
+    EXPECT_NE(text.find("1 pulses"), std::string::npos);
+    EXPECT_NE(text.find("2 moves"), std::string::npos);
+}
+
+TEST(PrinterTest, TruncationIsAnnounced)
+{
+    const Machine machine(MachineConfig::forQubits(9));
+    const auto text = formatSchedule(sampleSchedule(machine), 1);
+    EXPECT_NE(text.find("... (2 more)"), std::string::npos);
+    EXPECT_EQ(text.find("rydberg"), std::string::npos);
+}
+
+TEST(PrinterTest, EmptySchedule)
+{
+    const Machine machine(MachineConfig::forQubits(4));
+    MachineSchedule schedule(machine, {0});
+    const auto text = formatSchedule(schedule);
+    EXPECT_NE(text.find("0 instructions"), std::string::npos);
+}
+
+TEST(PrinterTest, EndToEndScheduleRenders)
+{
+    const Machine machine(MachineConfig::forQubits(6));
+    Circuit circuit(6);
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{2, 3});
+    const auto result = PowerMoveCompiler(machine).compile(circuit);
+    const auto text = formatSchedule(result.schedule);
+    EXPECT_NE(text.find("rydberg"), std::string::npos);
+    EXPECT_NE(text.find("block=0"), std::string::npos);
+}
+
+} // namespace
+} // namespace powermove

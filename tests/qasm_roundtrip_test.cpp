@@ -1,0 +1,119 @@
+/** @file Round-trip property tests: circuit -> QASM -> circuit. */
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "qasm/converter.hpp"
+#include "qasm/writer.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove::qasm {
+namespace {
+
+/** Structural equality modulo gate angles' textual formatting. */
+void
+expectEquivalent(const Circuit &original, const Circuit &reparsed)
+{
+    ASSERT_EQ(reparsed.numQubits(), original.numQubits());
+    ASSERT_EQ(reparsed.numOneQGates(), original.numOneQGates());
+    ASSERT_EQ(reparsed.numCzGates(), original.numCzGates());
+    ASSERT_EQ(reparsed.numBlocks(), original.numBlocks());
+    ASSERT_EQ(reparsed.moments().size(), original.moments().size());
+
+    for (std::size_t m = 0; m < original.moments().size(); ++m) {
+        const auto &orig = original.moments()[m];
+        const auto &back = reparsed.moments()[m];
+        ASSERT_EQ(orig.index(), back.index()) << "moment " << m;
+        if (const auto *block = std::get_if<CzBlock>(&orig)) {
+            EXPECT_EQ(std::get<CzBlock>(back).gates, block->gates);
+        } else {
+            const auto &orig_layer = std::get<OneQLayer>(orig);
+            const auto &back_layer = std::get<OneQLayer>(back);
+            ASSERT_EQ(back_layer.gates.size(), orig_layer.gates.size());
+            for (std::size_t g = 0; g < orig_layer.gates.size(); ++g) {
+                EXPECT_EQ(back_layer.gates[g].kind, orig_layer.gates[g].kind);
+                EXPECT_EQ(back_layer.gates[g].qubit,
+                          orig_layer.gates[g].qubit);
+                EXPECT_NEAR(back_layer.gates[g].angle,
+                            orig_layer.gates[g].angle, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(WriterTest, EmitsHeaderAndRegister)
+{
+    Circuit circuit(3, "demo");
+    circuit.append(CzGate{0, 2});
+    const auto text = writeQasm(circuit);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("cz q[0],q[2];"), std::string::npos);
+    EXPECT_NE(text.find("// demo"), std::string::npos);
+}
+
+TEST(WriterTest, EmitsBarrierBetweenAdjacentBlocks)
+{
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.barrier();
+    circuit.append(CzGate{2, 3});
+    const auto text = writeQasm(circuit);
+    EXPECT_NE(text.find("barrier q;"), std::string::npos);
+    const auto back = loadQasm(text).circuit;
+    EXPECT_EQ(back.numBlocks(), 2u);
+}
+
+TEST(WriterTest, RotationAnglesSurvive)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::Rz, 0, 0.75});
+    const auto back = loadQasm(writeQasm(circuit)).circuit;
+    const auto &layer = std::get<OneQLayer>(back.moments().front());
+    EXPECT_NEAR(layer.gates[0].angle, 0.75, 1e-9);
+}
+
+TEST(WriterTest, GenericUGateRoundTripsAsU3)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::U, 0, 1.25});
+    const auto text = writeQasm(circuit);
+    EXPECT_NE(text.find("u3(1.25,0,0)"), std::string::npos);
+    const auto back = loadQasm(text).circuit;
+    const auto &layer = std::get<OneQLayer>(back.moments().front());
+    EXPECT_EQ(layer.gates[0].kind, OneQKind::U);
+    EXPECT_NEAR(layer.gates[0].angle, 1.25, 1e-9);
+}
+
+/** Round-trip sweep over the whole benchmark suite. */
+class RoundTripProperty : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(RoundTripProperty, SuiteCircuitsSurviveRoundTrip)
+{
+    const auto spec = findBenchmark(GetParam());
+    const Circuit original = spec.build();
+    const auto reparsed = loadQasm(writeQasm(original)).circuit;
+    expectEquivalent(original, reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, RoundTripProperty,
+                         ::testing::Values("QAOA-regular3-30",
+                                           "QAOA-regular4-40",
+                                           "QAOA-random-20", "QFT-18", "BV-14",
+                                           "BV-50", "VQE-30",
+                                           "QSIM-rand-0.3-10",
+                                           "QSIM-rand-0.3-20"));
+
+TEST(RoundTripTest, DoubleRoundTripIsStable)
+{
+    const auto spec = findBenchmark("QFT-18");
+    const Circuit original = spec.build();
+    const auto once = loadQasm(writeQasm(original)).circuit;
+    const auto twice = loadQasm(writeQasm(once)).circuit;
+    expectEquivalent(once, twice);
+}
+
+} // namespace
+} // namespace powermove::qasm

@@ -1,0 +1,70 @@
+/** @file Tests for the report tables. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "report/table.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable table({"Benchmark", "Fidelity"});
+    table.addRow({"BV-70", "0.75"});
+    table.addRow({"QFT-29", "5.78e-04"});
+    const auto text = table.toString();
+    EXPECT_NE(text.find("Benchmark"), std::string::npos);
+    EXPECT_NE(text.find("BV-70"), std::string::npos);
+    EXPECT_NE(text.find("5.78e-04"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // Every line has equal or shorter length than the rule line.
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.numColumns(), 2u);
+}
+
+TEST(TextTableTest, ColumnsPadToWidestCell)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"very-long-cell", "x"});
+    const auto text = table.toString();
+    // The header line must be padded past the long cell.
+    const auto header_end = text.find('\n');
+    EXPECT_GE(header_end, std::string{"very-long-cell  x"}.size());
+}
+
+TEST(TextTableTest, RowWidthMismatchRejected)
+{
+    TextTable table({"A", "B"});
+    EXPECT_THROW(table.addRow({"only-one"}), ConfigError);
+    EXPECT_THROW(table.addRow({"1", "2", "3"}), ConfigError);
+}
+
+TEST(TextTableTest, EmptyHeaderRejected)
+{
+    EXPECT_THROW(TextTable{{}}, InternalError);
+}
+
+TEST(TextTableTest, CsvOutput)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"plain", "1"});
+    table.addRow({"with,comma", "2"});
+    table.addRow({"with\"quote", "3"});
+    const auto csv = table.toCsv();
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader)
+{
+    TextTable table({"only"});
+    EXPECT_NE(table.toString().find("only"), std::string::npos);
+    EXPECT_EQ(table.toCsv(), "only\n");
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,175 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (a.next() != b.next())
+            ++differing;
+    }
+    EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowZeroThrows)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.nextBelow(0), InternalError);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 500; ++i)
+        ++seen[rng.nextBelow(5)];
+    for (const int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, NextBoolMatchesProbabilityRoughly)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(RngTest, NextBoolExtremes)
+{
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng rng(13);
+    std::vector<int> values(50);
+    std::iota(values.begin(), values.end(), 0);
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton)
+{
+    Rng rng(1);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{42};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SampleIndicesDistinctSortedInRange)
+{
+    Rng rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto sample = rng.sampleIndices(20, 7);
+        ASSERT_EQ(sample.size(), 7u);
+        EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+        EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+                    sample.end());
+        for (const auto index : sample)
+            EXPECT_LT(index, 20u);
+    }
+}
+
+TEST(RngTest, SampleIndicesFullRange)
+{
+    Rng rng(23);
+    const auto sample = rng.sampleIndices(5, 5);
+    EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleIndicesZero)
+{
+    Rng rng(23);
+    EXPECT_TRUE(rng.sampleIndices(5, 0).empty());
+}
+
+TEST(RngTest, SampleIndicesTooManyThrows)
+{
+    Rng rng(23);
+    EXPECT_THROW(rng.sampleIndices(3, 4), InternalError);
+}
+
+TEST(SplitMix64Test, KnownSequenceAdvancesState)
+{
+    std::uint64_t state = 0;
+    const auto first = splitMix64(state);
+    const auto second = splitMix64(state);
+    EXPECT_NE(first, second);
+    EXPECT_NE(state, 0u);
+}
+
+} // namespace
+} // namespace powermove

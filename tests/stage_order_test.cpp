@@ -1,0 +1,149 @@
+/** @file Tests for the zone-aware stage scheduler (Sec. 4.2). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "schedule/stage_order.hpp"
+
+namespace powermove {
+namespace {
+
+Stage
+stageOf(std::initializer_list<CzGate> gates)
+{
+    Stage stage;
+    for (const auto &gate : gates)
+        stage.gates.push_back(gate.canonical());
+    return stage;
+}
+
+TEST(TransitionCostTest, IdenticalSetsCostZero)
+{
+    const std::vector<QubitId> q{1, 2, 3};
+    EXPECT_DOUBLE_EQ(stageTransitionCost(q, q, 0.5), 0.0);
+}
+
+TEST(TransitionCostTest, AsymmetricWeighting)
+{
+    const std::vector<QubitId> current{1, 2};
+    const std::vector<QubitId> next{3, 4};
+    // Two qubits enter storage (weight 1), two leave it (weight alpha).
+    EXPECT_DOUBLE_EQ(stageTransitionCost(current, next, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(stageTransitionCost(current, next, 1.0), 4.0);
+}
+
+TEST(TransitionCostTest, SubsetDirections)
+{
+    const std::vector<QubitId> small{1, 2};
+    const std::vector<QubitId> big{1, 2, 3, 4};
+    // Growing the active set only pays the alpha-weighted term...
+    EXPECT_DOUBLE_EQ(stageTransitionCost(small, big, 0.5), 1.0);
+    // ...while shrinking pays full weight per parked qubit.
+    EXPECT_DOUBLE_EQ(stageTransitionCost(big, small, 0.5), 2.0);
+}
+
+TEST(TransitionCostTest, EmptySets)
+{
+    EXPECT_DOUBLE_EQ(stageTransitionCost({}, {1, 2}, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(stageTransitionCost({1, 2}, {}, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(stageTransitionCost({}, {}, 0.5), 0.0);
+}
+
+TEST(OrderStagesTest, EmptyAndSingleton)
+{
+    EXPECT_TRUE(orderStages({}).empty());
+    const auto one = orderStages({stageOf({{0, 1}})});
+    ASSERT_EQ(one.size(), 1u);
+}
+
+TEST(OrderStagesTest, FirstStageHasFewestQubits)
+{
+    std::vector<Stage> stages = {
+        stageOf({{0, 1}, {2, 3}, {4, 5}}),
+        stageOf({{6, 7}}),
+        stageOf({{0, 2}, {1, 3}}),
+    };
+    const auto ordered = orderStages(std::move(stages));
+    EXPECT_EQ(ordered.front().gates.size(), 1u);
+    EXPECT_EQ(ordered.front().gates[0], (CzGate{6, 7}));
+}
+
+TEST(OrderStagesTest, GreedyPrefersOverlappingSuccessor)
+{
+    // After {0,1}, the stage {0,2} (one qubit in common) should beat
+    // {4,5} (fully disjoint).
+    std::vector<Stage> stages = {
+        stageOf({{0, 1}}),
+        stageOf({{4, 5}}),
+        stageOf({{0, 2}}),
+    };
+    const auto ordered = orderStages(std::move(stages));
+    ASSERT_EQ(ordered.size(), 3u);
+    EXPECT_EQ(ordered[0].gates[0], (CzGate{0, 1}));
+    EXPECT_EQ(ordered[1].gates[0], (CzGate{0, 2}));
+    EXPECT_EQ(ordered[2].gates[0], (CzGate{4, 5}));
+}
+
+TEST(OrderStagesTest, PreservesStageMultiset)
+{
+    std::vector<Stage> stages = {
+        stageOf({{0, 1}, {2, 3}}),
+        stageOf({{1, 2}}),
+        stageOf({{0, 3}}),
+        stageOf({{1, 3}, {0, 2}}),
+    };
+    std::size_t gates_before = 0;
+    for (const auto &stage : stages)
+        gates_before += stage.gates.size();
+
+    const auto ordered = orderStages(std::move(stages));
+    std::size_t gates_after = 0;
+    for (const auto &stage : ordered)
+        gates_after += stage.gates.size();
+    EXPECT_EQ(ordered.size(), 4u);
+    EXPECT_EQ(gates_after, gates_before);
+}
+
+TEST(OrderStagesTest, DeterministicTieBreak)
+{
+    std::vector<Stage> stages = {
+        stageOf({{0, 1}}),
+        stageOf({{2, 3}}),
+        stageOf({{4, 5}}),
+    };
+    const auto a = orderStages(stages);
+    const auto b = orderStages(stages);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].gates, b[i].gates);
+}
+
+TEST(OrderStagesTest, AlphaValidation)
+{
+    std::vector<Stage> stages = {stageOf({{0, 1}}), stageOf({{2, 3}})};
+    EXPECT_THROW(orderStages(stages, StageOrderOptions{0.0}), ConfigError);
+    EXPECT_THROW(orderStages(stages, StageOrderOptions{-1.0}), ConfigError);
+    EXPECT_THROW(orderStages(stages, StageOrderOptions{1.5}), ConfigError);
+    EXPECT_NO_THROW(orderStages(stages, StageOrderOptions{1.0}));
+}
+
+TEST(OrderStagesTest, LowAlphaPrefersGrowingActiveSet)
+{
+    // From {0,1}: candidate A activates two new qubits while keeping the
+    // current ones ({0,1,2,3} -> cost 2*alpha); candidate B swaps to a
+    // disjoint pair ({2,3} -> cost 2 + 2*alpha). A must win for any
+    // alpha; with alpha small the margin grows.
+    std::vector<Stage> stages = {
+        stageOf({{0, 1}}),
+        stageOf({{2, 3}}),
+        stageOf({{0, 2}, {1, 3}}),
+    };
+    const auto ordered = orderStages(std::move(stages),
+                                     StageOrderOptions{0.1});
+    EXPECT_EQ(ordered[1].gates.size(), 2u);
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,157 @@
+/** @file Tests for Algorithm 1 (edge-coloring stage partition). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "schedule/stage_partition.hpp"
+#include "workloads/qaoa.hpp"
+#include "workloads/qft.hpp"
+
+namespace powermove {
+namespace {
+
+CzBlock
+blockOf(std::initializer_list<CzGate> gates)
+{
+    CzBlock block;
+    for (const auto &gate : gates)
+        block.gates.push_back(gate.canonical());
+    return block;
+}
+
+std::vector<CzGate>
+sortedGates(const std::vector<Stage> &stages)
+{
+    std::vector<CzGate> all;
+    for (const auto &stage : stages)
+        for (const auto &gate : stage.gates)
+            all.push_back(gate.canonical());
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+TEST(InteractionGraphTest, EdgesJoinGatesSharingQubits)
+{
+    const auto block = blockOf({{0, 1}, {1, 2}, {3, 4}});
+    const Graph g = buildInteractionGraph(block, 5);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_TRUE(g.hasEdge(0, 1));  // share qubit 1
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_FALSE(g.hasEdge(1, 2));
+}
+
+TEST(InteractionGraphTest, RepeatedPairIsSingleConflict)
+{
+    const auto block = blockOf({{0, 1}, {0, 1}});
+    const Graph g = buildInteractionGraph(block, 2);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(StagePartitionTest, EmptyBlockYieldsNoStages)
+{
+    EXPECT_TRUE(partitionIntoStages(CzBlock{}, 4).empty());
+}
+
+TEST(StagePartitionTest, DisjointGatesShareOneStage)
+{
+    const auto stages =
+        partitionIntoStages(blockOf({{0, 1}, {2, 3}, {4, 5}}), 6);
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].gates.size(), 3u);
+}
+
+TEST(StagePartitionTest, StarNeedsOneStagePerGate)
+{
+    // All gates share qubit 0.
+    const auto stages =
+        partitionIntoStages(blockOf({{0, 1}, {0, 2}, {0, 3}}), 4);
+    EXPECT_EQ(stages.size(), 3u);
+    for (const auto &stage : stages)
+        EXPECT_EQ(stage.gates.size(), 1u);
+}
+
+TEST(StagePartitionTest, PathAlternates)
+{
+    const auto stages =
+        partitionIntoStages(blockOf({{0, 1}, {1, 2}, {2, 3}, {3, 4}}), 5);
+    EXPECT_EQ(stages.size(), 2u);
+}
+
+TEST(StagePartitionTest, PreservesGateMultiset)
+{
+    const auto block = blockOf({{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}});
+    const auto stages = partitionIntoStages(block, 4);
+    auto expected = block.gates;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sortedGates(stages), expected);
+}
+
+TEST(StagePartitionTest, StagesAreDisjoint)
+{
+    const auto block = blockOf({{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}});
+    for (const auto &stage : partitionIntoStages(block, 6))
+        EXPECT_TRUE(stage.qubitsDisjoint());
+}
+
+TEST(StageTest, InteractingQubitsSortedUnique)
+{
+    Stage stage;
+    stage.gates = {CzGate{5, 2}, CzGate{1, 7}};
+    EXPECT_EQ(stage.interactingQubits(), (std::vector<QubitId>{1, 2, 5, 7}));
+}
+
+TEST(StageTest, DisjointnessDetection)
+{
+    Stage good;
+    good.gates = {CzGate{0, 1}, CzGate{2, 3}};
+    EXPECT_TRUE(good.qubitsDisjoint());
+    Stage bad;
+    bad.gates = {CzGate{0, 1}, CzGate{1, 2}};
+    EXPECT_FALSE(bad.qubitsDisjoint());
+}
+
+/** Property sweep over QAOA instances: partition validity and quality. */
+class PartitionProperty : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(PartitionProperty, QaoaBlocksPartitionProperly)
+{
+    const std::size_t n = GetParam();
+    const Circuit circuit = makeQaoaRegular(n, 3, 1, n);
+    for (const auto *block : circuit.blocks()) {
+        const auto stages = partitionIntoStages(*block, n);
+        // Validity.
+        std::size_t total = 0;
+        for (const auto &stage : stages) {
+            EXPECT_TRUE(stage.qubitsDisjoint());
+            EXPECT_FALSE(stage.gates.empty());
+            total += stage.gates.size();
+        }
+        EXPECT_EQ(total, block->gates.size());
+        // Quality: greedy edge coloring of a cubic graph needs at most
+        // 2*3 - 1 colors (line-graph max degree bound), usually 3-4.
+        EXPECT_LE(stages.size(), 5u);
+        EXPECT_GE(stages.size(), 3u); // chromatic index >= max degree
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(QaoaSizes, PartitionProperty,
+                         ::testing::Values(10, 20, 30, 50, 80, 100));
+
+TEST(StagePartitionTest, QftBlocksAreSequentialChains)
+{
+    const Circuit qft = makeQft(8);
+    const auto blocks = qft.blocks();
+    // Block k has 7-k gates all sharing the target qubit: one per stage.
+    ASSERT_EQ(blocks.size(), 7u);
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        const auto stages = partitionIntoStages(*blocks[k], 8);
+        EXPECT_EQ(stages.size(), blocks[k]->gates.size());
+    }
+}
+
+} // namespace
+} // namespace powermove

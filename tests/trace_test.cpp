@@ -1,0 +1,122 @@
+/** @file Tests for the schedule timeline trace. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/powermove.hpp"
+#include "fidelity/evaluator.hpp"
+#include "fidelity/trace.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    TraceTest() : machine_(MachineConfig::forQubits(9)) {}
+
+    static AodBatch
+    batchOf(std::vector<QubitMove> moves)
+    {
+        AodBatch batch;
+        batch.groups.push_back(CollMove{std::move(moves)});
+        return batch;
+    }
+
+    Machine machine_;
+};
+
+TEST_F(TraceTest, EmptyScheduleHasZeroMakespan)
+{
+    MachineSchedule schedule(machine_, {0, 1});
+    const auto trace = traceSchedule(schedule);
+    EXPECT_TRUE(trace.instructions.empty());
+    EXPECT_DOUBLE_EQ(trace.total.micros(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.storageUtilization(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.movementShare(), 0.0);
+}
+
+TEST_F(TraceTest, StartTimesAreCumulative)
+{
+    MachineSchedule schedule(machine_, {0, 1});
+    schedule.addOneQLayer(2, 2);                 // 2 us
+    schedule.addMoveBatch(batchOf({{1, 1, 4}})); // 30 us + move
+    schedule.addRydberg({CzGate{0, 1}}, 0);      // 0.27 us
+
+    const auto trace = traceSchedule(schedule);
+    ASSERT_EQ(trace.instructions.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.instructions[0].start.micros(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.instructions[0].duration.micros(), 2.0);
+    EXPECT_DOUBLE_EQ(trace.instructions[1].start.micros(), 2.0);
+    EXPECT_DOUBLE_EQ(trace.instructions[2].start.micros(),
+                     2.0 + trace.instructions[1].duration.micros());
+    EXPECT_DOUBLE_EQ(trace.total.micros(),
+                     trace.instructions[2].start.micros() + 0.27);
+    EXPECT_EQ(trace.instructions[0].kind, TraceKind::OneQ);
+    EXPECT_EQ(trace.instructions[1].kind, TraceKind::Move);
+    EXPECT_EQ(trace.instructions[2].kind, TraceKind::Rydberg);
+}
+
+TEST_F(TraceTest, MakespanMatchesEvaluator)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Machine machine(spec.machine_config);
+    const auto result = PowerMoveCompiler(machine).compile(spec.build());
+    const auto trace = traceSchedule(result.schedule);
+    EXPECT_NEAR(trace.total.micros(), result.metrics.exec_time.micros(),
+                1e-6);
+}
+
+TEST_F(TraceTest, MoveDistanceAccumulates)
+{
+    MachineSchedule schedule(machine_, {0, 1});
+    schedule.addMoveBatch(batchOf({{1, 1, 2}})); // 15 um
+    AodBatch second;
+    second.groups.push_back(CollMove{{{1, 2, 5}}}); // 15 um down
+    schedule.addMoveBatch(second);
+    const auto trace = traceSchedule(schedule);
+    EXPECT_DOUBLE_EQ(trace.total_move_distance.microns(), 30.0);
+    EXPECT_EQ(trace.max_batch_moves, 1u);
+}
+
+TEST_F(TraceTest, StorageDwellCreditsResidencyNotTransit)
+{
+    const SiteId slot = machine_.storageSites()[0];
+    MachineSchedule schedule(machine_, {0, 1});
+    schedule.addMoveBatch(batchOf({{0, 0, slot}})); // 0 moves to storage
+    schedule.addOneQLayer(1, 1);                    // 1 us, 0 is stored
+
+    const auto trace = traceSchedule(schedule);
+    // Transit to storage is not credited; the 1Q layer afterwards is.
+    EXPECT_DOUBLE_EQ(trace.storage_dwell[0].micros(), 1.0);
+    EXPECT_DOUBLE_EQ(trace.storage_dwell[1].micros(), 0.0);
+    EXPECT_GT(trace.storageUtilization(), 0.0);
+}
+
+TEST_F(TraceTest, LeavingStorageDropsTheTransitCredit)
+{
+    const SiteId slot = machine_.storageSites()[0];
+    MachineSchedule schedule(machine_, {slot, 1});
+    schedule.addMoveBatch(batchOf({{0, slot, 0}})); // 0 leaves storage
+    const auto trace = traceSchedule(schedule);
+    EXPECT_DOUBLE_EQ(trace.storage_dwell[0].micros(), 0.0);
+}
+
+TEST_F(TraceTest, StorageUtilizationHighForZonedCompilation)
+{
+    const auto spec = findBenchmark("QSIM-rand-0.3-10");
+    const Machine machine(spec.machine_config);
+    const Circuit circuit = spec.build();
+    const auto with = PowerMoveCompiler(machine, {true, 1}).compile(circuit);
+    const auto without =
+        PowerMoveCompiler(machine, {false, 1}).compile(circuit);
+
+    const auto trace_with = traceSchedule(with.schedule);
+    const auto trace_without = traceSchedule(without.schedule);
+    EXPECT_GT(trace_with.storageUtilization(), 0.5);
+    EXPECT_DOUBLE_EQ(trace_without.storageUtilization(), 0.0);
+    EXPECT_GT(trace_with.movementShare(), 0.5);
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,138 @@
+/** @file Tests for circuit transformation passes. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/transform.hpp"
+#include "workloads/qft.hpp"
+
+namespace powermove {
+namespace {
+
+TEST(InverseCircuitTest, ReversesMomentsAndAdjointsGates)
+{
+    Circuit circuit(2);
+    circuit.append(OneQGate{OneQKind::S, 0, 0.0});
+    circuit.append(OneQGate{OneQKind::Rz, 1, 0.5});
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::T, 0, 0.0});
+
+    const Circuit inverse = inverseCircuit(circuit);
+    EXPECT_EQ(inverse.numCzGates(), 1u);
+    EXPECT_EQ(inverse.numOneQGates(), 3u);
+
+    // First moment of the inverse is the adjoint of the last layer.
+    const auto &first = std::get<OneQLayer>(inverse.moments().front());
+    EXPECT_EQ(first.gates[0].kind, OneQKind::Tdg);
+    const auto &last = std::get<OneQLayer>(inverse.moments().back());
+    EXPECT_EQ(last.gates[1].kind, OneQKind::Sdg);
+    EXPECT_DOUBLE_EQ(last.gates[0].angle, -0.5);
+}
+
+TEST(InverseCircuitTest, SelfInverseGatesUnchanged)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    circuit.append(OneQGate{OneQKind::X, 0, 0.0});
+    const Circuit inverse = inverseCircuit(circuit);
+    const auto &layer = std::get<OneQLayer>(inverse.moments().front());
+    EXPECT_EQ(layer.gates[0].kind, OneQKind::X);
+    EXPECT_EQ(layer.gates[1].kind, OneQKind::H);
+}
+
+TEST(InverseCircuitTest, DoubleInverseRestoresShape)
+{
+    const Circuit qft = makeQft(6);
+    const Circuit twice = inverseCircuit(inverseCircuit(qft));
+    EXPECT_EQ(twice.numCzGates(), qft.numCzGates());
+    EXPECT_EQ(twice.numOneQGates(), qft.numOneQGates());
+    EXPECT_EQ(twice.numBlocks(), qft.numBlocks());
+}
+
+TEST(CancelAdjacentTest, SelfInversePairsCancel)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    const Circuit simplified = cancelAdjacentOneQ(circuit);
+    EXPECT_EQ(simplified.numOneQGates(), 0u);
+}
+
+TEST(CancelAdjacentTest, TripleLeavesOne)
+{
+    Circuit circuit(1);
+    for (int i = 0; i < 3; ++i)
+        circuit.append(OneQGate{OneQKind::X, 0, 0.0});
+    const Circuit simplified = cancelAdjacentOneQ(circuit);
+    EXPECT_EQ(simplified.numOneQGates(), 1u);
+}
+
+TEST(CancelAdjacentTest, RotationsMerge)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::Rz, 0, 0.25});
+    circuit.append(OneQGate{OneQKind::Rz, 0, 0.5});
+    const Circuit simplified = cancelAdjacentOneQ(circuit);
+    ASSERT_EQ(simplified.numOneQGates(), 1u);
+    const auto &layer = std::get<OneQLayer>(simplified.moments().front());
+    EXPECT_DOUBLE_EQ(layer.gates[0].angle, 0.75);
+}
+
+TEST(CancelAdjacentTest, OppositeRotationsVanish)
+{
+    Circuit circuit(1);
+    circuit.append(OneQGate{OneQKind::Ry, 0, 0.7});
+    circuit.append(OneQGate{OneQKind::Ry, 0, -0.7});
+    EXPECT_EQ(cancelAdjacentOneQ(circuit).numOneQGates(), 0u);
+}
+
+TEST(CancelAdjacentTest, DifferentQubitsDoNotInterfere)
+{
+    Circuit circuit(2);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    circuit.append(OneQGate{OneQKind::H, 1, 0.0});
+    EXPECT_EQ(cancelAdjacentOneQ(circuit).numOneQGates(), 2u);
+}
+
+TEST(CancelAdjacentTest, BlocksBreakCancellation)
+{
+    Circuit circuit(2);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    circuit.append(CzGate{0, 1});
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    // H gates in different layers (a CZ block between) must survive.
+    const Circuit simplified = cancelAdjacentOneQ(circuit);
+    EXPECT_EQ(simplified.numOneQGates(), 2u);
+    EXPECT_EQ(simplified.numCzGates(), 1u);
+    EXPECT_EQ(simplified.numBlocks(), 1u);
+}
+
+TEST(GateCountsTest, PerQubitTotals)
+{
+    Circuit circuit(3);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{0, 2});
+    const auto counts = gateCountsPerQubit(circuit);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{3, 1, 1}));
+}
+
+TEST(CircuitDepthTest, CountsLayersAndBlockMultiplicity)
+{
+    Circuit circuit(3);
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});   // depth 1
+    circuit.append(OneQGate{OneQKind::H, 0, 0.0});   // stacked: depth 2
+    circuit.append(CzGate{0, 1});                    // block:
+    circuit.append(CzGate{0, 2});                    //   qubit 0 twice -> 2
+    EXPECT_EQ(circuitDepth(circuit), 4u);
+    EXPECT_EQ(circuitDepth(Circuit(2)), 0u);
+}
+
+TEST(CircuitDepthTest, QftDepthIsQuadratic)
+{
+    const Circuit qft = makeQft(8);
+    // 8 H (each own layer-ish) + 28 sequential CPs + deferred rz layers.
+    EXPECT_GE(circuitDepth(qft), 28u + 8u);
+}
+
+} // namespace
+} // namespace powermove

@@ -1,0 +1,100 @@
+/** @file Unit tests for the strong unit types. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace powermove {
+namespace {
+
+using namespace powermove::literals;
+
+TEST(DurationTest, DefaultIsZero)
+{
+    EXPECT_DOUBLE_EQ(Duration().micros(), 0.0);
+}
+
+TEST(DurationTest, MicrosRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(Duration::micros(15.0).micros(), 15.0);
+}
+
+TEST(DurationTest, NanosConvertToMicros)
+{
+    EXPECT_DOUBLE_EQ(Duration::nanos(270.0).micros(), 0.27);
+}
+
+TEST(DurationTest, SecondsConvertToMicros)
+{
+    EXPECT_DOUBLE_EQ(Duration::seconds(1.5).micros(), 1.5e6);
+}
+
+TEST(DurationTest, SecondsAccessor)
+{
+    EXPECT_DOUBLE_EQ(Duration::micros(2.0e6).seconds(), 2.0);
+}
+
+TEST(DurationTest, Addition)
+{
+    EXPECT_DOUBLE_EQ((1_us + 2.5_us).micros(), 3.5);
+}
+
+TEST(DurationTest, Subtraction)
+{
+    EXPECT_DOUBLE_EQ((5_us - 2_us).micros(), 3.0);
+}
+
+TEST(DurationTest, ScalarMultiplication)
+{
+    EXPECT_DOUBLE_EQ((3_us * 4.0).micros(), 12.0);
+}
+
+TEST(DurationTest, RatioOfDurations)
+{
+    EXPECT_DOUBLE_EQ(10_us / 4_us, 2.5);
+}
+
+TEST(DurationTest, CompoundAssignment)
+{
+    Duration d = 1_us;
+    d += 2_us;
+    EXPECT_DOUBLE_EQ(d.micros(), 3.0);
+    d -= 0.5_us;
+    EXPECT_DOUBLE_EQ(d.micros(), 2.5);
+}
+
+TEST(DurationTest, Comparisons)
+{
+    EXPECT_LT(1_us, 2_us);
+    EXPECT_GT(3_us, 2_us);
+    EXPECT_EQ(2_us, Duration::micros(2.0));
+    EXPECT_LE(2_us, 2_us);
+}
+
+TEST(DistanceTest, MicronsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(Distance::microns(27.5).microns(), 27.5);
+}
+
+TEST(DistanceTest, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ((15_um + 15_um).microns(), 30.0);
+    EXPECT_DOUBLE_EQ((30_um - 12_um).microns(), 18.0);
+    EXPECT_DOUBLE_EQ((15_um * 3.0).microns(), 45.0);
+    EXPECT_DOUBLE_EQ(110_um / 27.5_um, 4.0);
+}
+
+TEST(DistanceTest, Comparisons)
+{
+    EXPECT_LT(6_um, 10_um);
+    EXPECT_EQ(15_um, Distance::microns(15.0));
+}
+
+TEST(UnitsTest, LiteralsProduceExpectedValues)
+{
+    EXPECT_DOUBLE_EQ((0.27_us).micros(), 0.27);
+    EXPECT_DOUBLE_EQ((110_um).microns(), 110.0);
+}
+
+} // namespace
+} // namespace powermove
