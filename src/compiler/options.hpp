@@ -28,7 +28,21 @@ struct CompilerOptions
     /** Stage-ordering weight alpha in (0, 1] (paper Sec. 4.2). */
     double stage_order_alpha = 0.5;
 
-    /** Seed for the router's randomized mobile/static choice. */
+    /**
+     * Seed for the router's randomized mobile/static choice.
+     *
+     * Determinism rule for batched compilation: a job's randomized
+     * decisions must depend only on (seed, job content) — never on which
+     * worker thread runs it or on queue interleaving. The batch service
+     * therefore compiles each job with a *derived* seed,
+     * service::deriveJobSeed(seed, job fingerprint), which mixes this
+     * base seed with the content address of (circuit, machine config,
+     * options). Identical jobs get identical streams — so serial and
+     * 8-worker runs produce bit-identical results — while distinct jobs
+     * get decorrelated streams from one base seed. Use
+     * service::effectiveOptions() to replay any batched job directly
+     * through PowerMoveCompiler.
+     */
     std::uint64_t seed = 0xC0FFEE;
 
     /**

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Content-addressed LRU cache of compilation results.
+ *
+ * Keys are job fingerprints (service/fingerprint.hpp); values are
+ * shared, immutable CompileResults, so evicting an entry never
+ * invalidates a result already handed to a client. The cache is a plain
+ * data structure with *no internal locking* — CompilationService
+ * guards it with its own mutex so that lookup-miss / mark-in-flight can
+ * be one atomic step. Hit, miss, and eviction counters feed
+ * ServiceStats.
+ */
+
+#ifndef POWERMOVE_SERVICE_CACHE_HPP
+#define POWERMOVE_SERVICE_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/machine.hpp"
+#include "compiler/result.hpp"
+
+namespace powermove::service {
+
+/**
+ * One cached compilation. The machine rides along because a
+ * MachineSchedule references its Machine by raw pointer: the cache
+ * entry must keep the referent alive for as long as the result is
+ * servable, so that evicting an interned machine elsewhere can never
+ * dangle a cached schedule.
+ */
+struct CachedCompile
+{
+    std::shared_ptr<const CompileResult> result;
+    std::shared_ptr<const Machine> machine;
+
+    explicit operator bool() const { return result != nullptr; }
+};
+
+/** Bounded LRU map: job fingerprint -> shared compile result. */
+class CompileCache
+{
+  public:
+    /**
+     * @param capacity maximum resident entries; 0 disables caching
+     *                 (every lookup misses, inserts are dropped)
+     */
+    explicit CompileCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * The cached entry for @p key, refreshing its recency; falsy on a
+     * miss. Counts one hit or one miss.
+     */
+    CachedCompile
+    lookup(std::uint64_t key)
+    {
+        const auto it = slots_.find(key);
+        if (it == slots_.end()) {
+            ++misses_;
+            return {};
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second.position);
+        return it->second.value;
+    }
+
+    /**
+     * Inserts (or refreshes) @p key, evicting least-recently-used
+     * entries beyond capacity.
+     */
+    void
+    insert(std::uint64_t key, CachedCompile value)
+    {
+        if (capacity_ == 0)
+            return;
+        if (const auto it = slots_.find(key); it != slots_.end()) {
+            it->second.value = std::move(value);
+            order_.splice(order_.begin(), order_, it->second.position);
+            return;
+        }
+        order_.push_front(key);
+        slots_.emplace(key, Slot{std::move(value), order_.begin()});
+        while (slots_.size() > capacity_) {
+            slots_.erase(order_.back());
+            order_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    /** Drops every entry (counters are kept). */
+    void
+    clear()
+    {
+        slots_.clear();
+        order_.clear();
+    }
+
+    std::size_t size() const { return slots_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Lookups that found a resident entry. */
+    std::size_t hits() const { return hits_; }
+    /** Lookups that found nothing. */
+    std::size_t misses() const { return misses_; }
+    /** Entries dropped to respect the capacity bound. */
+    std::size_t evictions() const { return evictions_; }
+
+  private:
+    struct Slot
+    {
+        CachedCompile value;
+        std::list<std::uint64_t>::iterator position;
+    };
+
+    std::size_t capacity_;
+    std::list<std::uint64_t> order_; // front = most recently used
+    std::unordered_map<std::uint64_t, Slot> slots_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
+} // namespace powermove::service
+
+#endif // POWERMOVE_SERVICE_CACHE_HPP

@@ -1,0 +1,239 @@
+#include "service/service.hpp"
+
+#include "common/error.hpp"
+#include "compiler/powermove.hpp"
+#include "service/fingerprint.hpp"
+
+namespace powermove::service {
+
+std::uint64_t
+jobFingerprint(const CompileJob &job)
+{
+    return fingerprintJob(job.circuit, job.machine, job.options);
+}
+
+CompilerOptions
+effectiveOptions(const CompileJob &job)
+{
+    CompilerOptions options = job.options;
+    options.seed = deriveJobSeed(options.seed, jobFingerprint(job));
+    return options;
+}
+
+CompilationService::CompilationService(ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity)
+{
+    if (options_.num_workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        options_.num_workers = hw == 0 ? 1 : hw;
+    }
+    workers_.reserve(options_.num_workers);
+    for (std::size_t i = 0; i < options_.num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompilationService::~CompilationService()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::future<JobResult>
+CompilationService::submit(CompileJob job)
+{
+    const std::uint64_t fingerprint = jobFingerprint(job);
+    std::promise<JobResult> promise;
+    std::future<JobResult> future = promise.get_future();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_)
+        fatal("submit on a stopping CompilationService");
+    ++jobs_submitted_;
+
+    // Tier 1: an identical job is already queued or compiling — attach.
+    if (const auto it = pending_.find(fingerprint); it != pending_.end()) {
+        ++coalesced_;
+        it->second.waiters.push_back(std::move(promise));
+        return future;
+    }
+
+    // Tier 2: the result is cached — answer without touching the pool.
+    if (auto cached = cache_.lookup(fingerprint)) {
+        lock.unlock();
+        promise.set_value(JobResult{std::move(cached.machine),
+                                    std::move(cached.result), fingerprint,
+                                    true});
+        return future;
+    }
+
+    // Tier 3: fresh work.
+    PendingJob entry;
+    entry.job = std::move(job);
+    entry.waiters.push_back(std::move(promise));
+    pending_.emplace(fingerprint, std::move(entry));
+    queue_.push_back(fingerprint);
+    lock.unlock();
+    work_ready_.notify_one();
+    return future;
+}
+
+std::future<JobResult>
+CompilationService::submit(Circuit circuit, MachineConfig machine,
+                           CompilerOptions options)
+{
+    return submit(CompileJob{std::move(circuit), machine, options});
+}
+
+std::vector<BatchEntry>
+CompilationService::compileBatch(std::vector<CompileJob> jobs)
+{
+    std::vector<std::future<JobResult>> futures;
+    futures.reserve(jobs.size());
+    for (CompileJob &job : jobs)
+        futures.push_back(submit(std::move(job)));
+
+    std::vector<BatchEntry> entries(futures.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            entries[i].result = futures[i].get();
+        } catch (const std::exception &e) {
+            entries[i].error = e.what();
+        } catch (...) {
+            entries[i].error = "unknown error";
+        }
+    }
+    return entries;
+}
+
+void
+CompilationService::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return pending_.empty(); });
+}
+
+ServiceStats
+CompilationService::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats stats;
+    stats.jobs_submitted = jobs_submitted_;
+    stats.jobs_completed = jobs_completed_;
+    stats.jobs_failed = jobs_failed_;
+    stats.cache_hits = cache_.hits();
+    stats.cache_misses = cache_.misses();
+    stats.cache_evictions = cache_.evictions();
+    stats.cache_entries = cache_.size();
+    stats.coalesced = coalesced_;
+    stats.machines_built = machines_built_;
+    stats.num_workers = workers_.size();
+    return stats;
+}
+
+std::shared_ptr<const Machine>
+CompilationService::internMachine(const MachineConfig &config,
+                                  std::unique_lock<std::mutex> &lock)
+{
+    const std::uint64_t key = fingerprintMachineConfig(config);
+    if (const auto it = machines_.find(key); it != machines_.end()) {
+        if (auto machine = it->second.lock())
+            return machine;
+    }
+    // Miss: sweep entries whose machines have died so the map tracks
+    // live configs only.
+    std::erase_if(machines_,
+                  [](const auto &entry) { return entry.second.expired(); });
+
+    // Build outside the lock: machine construction is O(sites) and must
+    // not stall submitters or other workers.
+    lock.unlock();
+    std::shared_ptr<const Machine> machine;
+    try {
+        machine = std::make_shared<const Machine>(config);
+    } catch (...) {
+        lock.lock();
+        throw;
+    }
+    lock.lock();
+    ++machines_built_;
+    // Another thread may have interned the same config meanwhile; reuse
+    // its instance so every client shares one machine per config.
+    auto &slot = machines_[key];
+    if (auto existing = slot.lock())
+        return existing;
+    slot = machine;
+    return machine;
+}
+
+void
+CompilationService::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return; // drained: every queued job ran before shutdown
+            continue;
+        }
+        const std::uint64_t fingerprint = queue_.front();
+        queue_.pop_front();
+
+        // The map reference stays valid while unlocked: only this worker
+        // erases this entry, rehashing never invalidates references, and
+        // concurrent submits only touch the waiters vector (under the
+        // lock) — never the job payload we read from.
+        PendingJob &entry = pending_.at(fingerprint);
+
+        std::shared_ptr<const Machine> machine;
+        std::shared_ptr<const CompileResult> result;
+        std::exception_ptr error;
+        try {
+            machine = internMachine(entry.job.machine, lock);
+            CompilerOptions options = entry.job.options;
+            if (options_.derive_job_seeds)
+                options.seed = deriveJobSeed(options.seed, fingerprint);
+            const Circuit &circuit = entry.job.circuit;
+            lock.unlock();
+            const PowerMoveCompiler compiler(*machine, options);
+            result = std::make_shared<const CompileResult>(
+                compiler.compile(circuit));
+            lock.lock();
+        } catch (...) {
+            error = std::current_exception();
+            if (!lock.owns_lock())
+                lock.lock();
+        }
+
+        if (result) {
+            cache_.insert(fingerprint, {result, machine});
+            ++jobs_completed_;
+        } else {
+            ++jobs_failed_;
+        }
+        std::vector<std::promise<JobResult>> waiters =
+            std::move(entry.waiters);
+        pending_.erase(fingerprint);
+        const bool now_idle = pending_.empty();
+        lock.unlock();
+
+        const JobResult outcome{std::move(machine), std::move(result),
+                                fingerprint, false};
+        for (std::promise<JobResult> &waiter : waiters) {
+            if (error)
+                waiter.set_exception(error);
+            else
+                waiter.set_value(outcome);
+        }
+        if (now_idle)
+            idle_.notify_all();
+        lock.lock();
+    }
+}
+
+} // namespace powermove::service

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Batch compilation service: a thread-pooled job queue fronted by a
+ * content-addressed result cache.
+ *
+ * Clients submit (circuit, machine config, compiler options) jobs and
+ * receive std::futures. Internally:
+ *
+ *  - submit() fingerprints the job (service/fingerprint.hpp) and, under
+ *    one lock, resolves it against three tiers: an identical job already
+ *    *in flight* (the new future attaches to it — no duplicate work), a
+ *    cached result (the future is ready immediately), or a fresh entry
+ *    pushed onto the worker queue.
+ *  - A fixed pool of std::thread workers pops jobs, compiles them with
+ *    PowerMoveCompiler, and fulfills every attached future. Successful
+ *    results enter the LRU cache; failures propagate as exceptions
+ *    through each waiting future and are never cached.
+ *  - Machines are interned by config fingerprint and handed out as
+ *    shared_ptrs, because a MachineSchedule references its Machine: a
+ *    JobResult keeps its machine alive no matter what the service does
+ *    afterwards.
+ *
+ * Determinism: each job compiles with a seed derived from (base seed,
+ * job fingerprint) — see deriveJobSeed() — so results are reproducible
+ * regardless of worker count or queue interleaving. effectiveOptions()
+ * exposes the exact options a job runs with, letting callers replay any
+ * batched compilation single-threadedly.
+ *
+ * Thread safety: every public member function may be called from any
+ * thread. The Machine, Circuit, and CompileResult objects handed out
+ * are immutable and safe to read concurrently.
+ */
+
+#ifndef POWERMOVE_SERVICE_SERVICE_HPP
+#define POWERMOVE_SERVICE_SERVICE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+#include "compiler/options.hpp"
+#include "compiler/result.hpp"
+#include "service/cache.hpp"
+
+namespace powermove::service {
+
+/** One unit of work: compile @p circuit for @p machine under @p options. */
+struct CompileJob
+{
+    Circuit circuit;
+    MachineConfig machine;
+    CompilerOptions options;
+};
+
+/** What a submitted job's future resolves to. */
+struct JobResult
+{
+    /** The interned target machine; keeps the schedule's referent alive. */
+    std::shared_ptr<const Machine> machine;
+    /** The (possibly shared) compilation outcome. */
+    std::shared_ptr<const CompileResult> result;
+    /** Content address of the job (cache key). */
+    std::uint64_t fingerprint = 0;
+    /** True if submit() answered from the result cache. */
+    bool from_cache = false;
+};
+
+/** One entry of a compileBatch() response. */
+struct BatchEntry
+{
+    /** Valid only when ok(). */
+    JobResult result;
+    /** Failure description (exception message); empty on success. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Service construction knobs. */
+struct ServiceOptions
+{
+    /** Worker threads; 0 means one per hardware thread (at least 1). */
+    std::size_t num_workers = 0;
+    /** Result-cache capacity in entries; 0 disables caching. */
+    std::size_t cache_capacity = 128;
+    /**
+     * Apply the deriveJobSeed() rule (the default). Disable to compile
+     * every job with its verbatim CompilerOptions::seed, matching a
+     * direct PowerMoveCompiler invocation.
+     */
+    bool derive_job_seeds = true;
+};
+
+/** Counters snapshot; all values are cumulative since construction. */
+struct ServiceStats
+{
+    std::size_t jobs_submitted = 0;
+    /** Jobs that ran to completion on a worker (cache hits excluded). */
+    std::size_t jobs_completed = 0;
+    /** Jobs whose compilation threw. */
+    std::size_t jobs_failed = 0;
+    /** Submissions answered immediately from the result cache. */
+    std::size_t cache_hits = 0;
+    /** Submissions that scheduled fresh work. */
+    std::size_t cache_misses = 0;
+    /** Cache entries dropped by the LRU bound. */
+    std::size_t cache_evictions = 0;
+    /** Currently resident cache entries. */
+    std::size_t cache_entries = 0;
+    /** Submissions attached to an identical in-flight job. */
+    std::size_t coalesced = 0;
+    /**
+     * Machines constructed so far. Machines are interned by config for
+     * as long as any result (cached or client-held) references them; a
+     * config whose machines all died is rebuilt on next use, counting
+     * again.
+     */
+    std::size_t machines_built = 0;
+    /** Pool size. */
+    std::size_t num_workers = 0;
+};
+
+/** Thread-pooled, cache-fronted batch compiler. */
+class CompilationService
+{
+  public:
+    explicit CompilationService(ServiceOptions options = {});
+
+    /**
+     * Drains the queue: every already-submitted job still completes and
+     * fulfills its futures before the workers join.
+     */
+    ~CompilationService();
+
+    CompilationService(const CompilationService &) = delete;
+    CompilationService &operator=(const CompilationService &) = delete;
+
+    /** Submits one job; the future reports success or rethrows. */
+    std::future<JobResult> submit(CompileJob job);
+
+    /** Convenience overload building the job in place. */
+    std::future<JobResult> submit(Circuit circuit, MachineConfig machine,
+                                  CompilerOptions options = {});
+
+    /**
+     * Submits every job, waits for all of them, and reports per-job
+     * outcomes — a failure in one job never hides the others' results.
+     */
+    std::vector<BatchEntry> compileBatch(std::vector<CompileJob> jobs);
+
+    /** Blocks until no job is queued or running. */
+    void waitIdle();
+
+    /** Point-in-time counters. */
+    ServiceStats stats() const;
+
+    /** The options this service was built with (workers resolved). */
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    struct PendingJob
+    {
+        CompileJob job;
+        std::vector<std::promise<JobResult>> waiters;
+    };
+
+    void workerLoop();
+
+    /** Interned machine for @p config, building it on first use. */
+    std::shared_ptr<const Machine>
+    internMachine(const MachineConfig &config,
+                  std::unique_lock<std::mutex> &lock);
+
+    ServiceOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable idle_;
+    bool stopping_ = false;
+
+    std::deque<std::uint64_t> queue_; // fingerprints with a PendingJob
+    std::unordered_map<std::uint64_t, PendingJob> pending_;
+    // Weak interning: a machine lives exactly as long as some cache
+    // entry or client JobResult holds it, so the map cannot grow
+    // unboundedly with distinct configs over a long-lived service.
+    std::unordered_map<std::uint64_t, std::weak_ptr<const Machine>>
+        machines_;
+    CompileCache cache_;
+    std::size_t machines_built_ = 0;
+
+    std::size_t jobs_submitted_ = 0;
+    std::size_t jobs_completed_ = 0;
+    std::size_t jobs_failed_ = 0;
+    std::size_t coalesced_ = 0;
+
+    std::vector<std::thread> workers_;
+};
+
+/** Content address of @p job (the service's cache key). */
+std::uint64_t jobFingerprint(const CompileJob &job);
+
+/**
+ * The options @p job actually compiles with under the service's
+ * deterministic-seeding rule: the base seed is replaced by
+ * deriveJobSeed(base, fingerprint). Compile with these directly to
+ * replay any batched job bit-identically outside the service.
+ */
+CompilerOptions effectiveOptions(const CompileJob &job);
+
+} // namespace powermove::service
+
+#endif // POWERMOVE_SERVICE_SERVICE_HPP

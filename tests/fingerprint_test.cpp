@@ -1,0 +1,158 @@
+/** @file Tests for content-addressed job fingerprints. */
+
+#include <gtest/gtest.h>
+
+#include "service/fingerprint.hpp"
+
+namespace powermove::service {
+namespace {
+
+TEST(Fnv1aTest, MatchesReferenceVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(Fnv1a().digest(), 0xcbf29ce484222325ULL);
+
+    Fnv1a a;
+    a.addBytes("a", 1);
+    EXPECT_EQ(a.digest(), 0xaf63dc4c8601ec8cULL);
+
+    Fnv1a foobar;
+    foobar.addBytes("foobar", 6);
+    EXPECT_EQ(foobar.digest(), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aTest, TypedFeedsAreCanonical)
+{
+    Fnv1a via_u64;
+    via_u64.add(std::uint64_t{0x0102030405060708ULL});
+    Fnv1a via_bytes;
+    const unsigned char little_endian[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+    via_bytes.addBytes(little_endian, 8);
+    EXPECT_EQ(via_u64.digest(), via_bytes.digest());
+}
+
+TEST(FingerprintTest, CircuitNameIsIgnored)
+{
+    Circuit a(4, "alpha");
+    a.append(CzGate{0, 1});
+    Circuit b(4, "beta");
+    b.append(CzGate{0, 1});
+    EXPECT_EQ(fingerprintCircuit(a), fingerprintCircuit(b));
+}
+
+TEST(FingerprintTest, CircuitContentIsAddressed)
+{
+    Circuit base(4);
+    base.append(CzGate{0, 1});
+    base.append(CzGate{2, 3});
+
+    Circuit reordered(4);
+    reordered.append(CzGate{2, 3});
+    reordered.append(CzGate{0, 1});
+    EXPECT_NE(fingerprintCircuit(base), fingerprintCircuit(reordered));
+
+    Circuit extended = base;
+    extended.append(CzGate{1, 2});
+    EXPECT_NE(fingerprintCircuit(base), fingerprintCircuit(extended));
+
+    Circuit wider(5);
+    wider.append(CzGate{0, 1});
+    wider.append(CzGate{2, 3});
+    EXPECT_NE(fingerprintCircuit(base), fingerprintCircuit(wider));
+}
+
+TEST(FingerprintTest, BarrierSplitsBlocksAndTheFingerprint)
+{
+    Circuit joined(4);
+    joined.append(CzGate{0, 1});
+    joined.append(CzGate{2, 3});
+
+    Circuit split(4);
+    split.append(CzGate{0, 1});
+    split.barrier();
+    split.append(CzGate{2, 3});
+    EXPECT_NE(fingerprintCircuit(joined), fingerprintCircuit(split));
+}
+
+TEST(FingerprintTest, AngleOnlyCountsWhenTheKindHasOne)
+{
+    Circuit h_zero(2);
+    h_zero.append(OneQGate{OneQKind::H, 0, 0.0});
+    Circuit h_stale(2);
+    h_stale.append(OneQGate{OneQKind::H, 0, 1.25}); // stale payload
+    EXPECT_EQ(fingerprintCircuit(h_zero), fingerprintCircuit(h_stale));
+
+    Circuit rz_a(2);
+    rz_a.append(OneQGate{OneQKind::Rz, 0, 0.5});
+    Circuit rz_b(2);
+    rz_b.append(OneQGate{OneQKind::Rz, 0, 0.75});
+    EXPECT_NE(fingerprintCircuit(rz_a), fingerprintCircuit(rz_b));
+}
+
+TEST(FingerprintTest, MachineConfigFieldsAreAddressed)
+{
+    const MachineConfig base = MachineConfig::forQubits(16);
+    EXPECT_EQ(fingerprintMachineConfig(base), fingerprintMachineConfig(base));
+
+    MachineConfig gap = base;
+    gap.gap_rows += 1;
+    EXPECT_NE(fingerprintMachineConfig(base), fingerprintMachineConfig(gap));
+
+    MachineConfig params = base;
+    params.params.f_cz = 0.99;
+    EXPECT_NE(fingerprintMachineConfig(base),
+              fingerprintMachineConfig(params));
+}
+
+TEST(FingerprintTest, OptionFieldsAreAddressed)
+{
+    const CompilerOptions base;
+    EXPECT_EQ(fingerprintOptions(base), fingerprintOptions(base));
+
+    CompilerOptions storage = base;
+    storage.use_storage = false;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(storage));
+
+    CompilerOptions aods = base;
+    aods.num_aods = 2;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(aods));
+
+    CompilerOptions seed = base;
+    seed.seed += 1;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(seed));
+
+    CompilerOptions policy = base;
+    policy.aod_batch_policy = AodBatchPolicy::DurationBalanced;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(policy));
+}
+
+TEST(FingerprintTest, JobFingerprintCombinesAllThreeParts)
+{
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    const MachineConfig config = MachineConfig::forQubits(4);
+    const CompilerOptions options;
+
+    const auto base = fingerprintJob(circuit, config, options);
+    EXPECT_EQ(base, fingerprintJob(circuit, config, options));
+
+    CompilerOptions other_options = options;
+    other_options.num_aods = 3;
+    EXPECT_NE(base, fingerprintJob(circuit, config, other_options));
+
+    MachineConfig other_config = config;
+    other_config.storage_rows += 1;
+    EXPECT_NE(base, fingerprintJob(circuit, other_config, options));
+}
+
+TEST(FingerprintTest, DerivedSeedsAreDeterministicAndDecorrelated)
+{
+    const auto a = deriveJobSeed(42, 0x1111);
+    EXPECT_EQ(a, deriveJobSeed(42, 0x1111));
+    EXPECT_NE(a, deriveJobSeed(42, 0x2222));
+    EXPECT_NE(a, deriveJobSeed(43, 0x1111));
+    EXPECT_NE(a, 42u);
+}
+
+} // namespace
+} // namespace powermove::service

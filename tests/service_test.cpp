@@ -1,0 +1,335 @@
+/** @file Tests for the batch compilation service. */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compiler/powermove.hpp"
+#include "isa/validator.hpp"
+#include "service/fingerprint.hpp"
+#include "service/service.hpp"
+#include "workloads/suite.hpp"
+
+namespace powermove::service {
+namespace {
+
+/** A small distinct job: a 4-qubit chain with @p variant CZ blocks. */
+CompileJob
+smallJob(std::size_t variant = 1)
+{
+    Circuit circuit(4);
+    for (std::size_t i = 0; i < variant; ++i) {
+        circuit.append(CzGate{0, 1});
+        circuit.append(CzGate{2, 3});
+        circuit.barrier();
+        circuit.append(CzGate{1, 2});
+        circuit.barrier();
+    }
+    return CompileJob{std::move(circuit), MachineConfig::forQubits(4), {}};
+}
+
+/** Asserts two results carry bit-identical metrics (compile time aside). */
+void
+expectIdenticalMetrics(const CompileResult &a, const CompileResult &b)
+{
+    EXPECT_EQ(a.num_stages, b.num_stages);
+    EXPECT_EQ(a.num_coll_moves, b.num_coll_moves);
+    EXPECT_EQ(a.schedule.instructions().size(),
+              b.schedule.instructions().size());
+    EXPECT_EQ(a.schedule.numTransfers(), b.schedule.numTransfers());
+    EXPECT_EQ(a.metrics.excitation_exposures, b.metrics.excitation_exposures);
+    EXPECT_EQ(a.metrics.pulses, b.metrics.pulses);
+    EXPECT_DOUBLE_EQ(a.metrics.fidelity(), b.metrics.fidelity());
+    EXPECT_DOUBLE_EQ(a.metrics.exec_time.micros(), b.metrics.exec_time.micros());
+    EXPECT_DOUBLE_EQ(a.metrics.total_idle.micros(), b.metrics.total_idle.micros());
+}
+
+TEST(ServiceTest, SubmitMatchesDirectCompileWithEffectiveOptions)
+{
+    CompilationService svc({2, 16});
+    const CompileJob job = smallJob();
+    const JobResult out = svc.submit(job).get();
+    ASSERT_TRUE(out.result);
+    EXPECT_FALSE(out.from_cache);
+    EXPECT_EQ(out.fingerprint, jobFingerprint(job));
+    validateAgainstCircuit(out.result->schedule, job.circuit);
+
+    // The documented replay rule: effectiveOptions() reproduces the
+    // batched compilation bit-identically outside the service.
+    const Machine machine(job.machine);
+    const PowerMoveCompiler direct(machine, effectiveOptions(job));
+    expectIdenticalMetrics(*out.result, direct.compile(job.circuit));
+}
+
+TEST(ServiceTest, SecondSubmissionIsServedFromCache)
+{
+    CompilationService svc({2, 16});
+    const CompileJob job = smallJob();
+
+    const JobResult first = svc.submit(job).get();
+    EXPECT_FALSE(first.from_cache);
+
+    const JobResult second = svc.submit(job).get();
+    EXPECT_TRUE(second.from_cache);
+    EXPECT_EQ(second.result.get(), first.result.get()); // shared, not copied
+    EXPECT_EQ(second.machine.get(), first.machine.get());
+
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.jobs_submitted, 2u);
+    EXPECT_EQ(stats.jobs_completed, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.machines_built, 1u);
+}
+
+TEST(ServiceTest, DifferentOptionsAreDifferentCacheEntries)
+{
+    CompilationService svc({2, 16});
+    CompileJob job = smallJob();
+    (void)svc.submit(job).get();
+
+    CompileJob reseeded = smallJob();
+    reseeded.options.seed += 1;
+    const JobResult out = svc.submit(reseeded).get();
+    EXPECT_FALSE(out.from_cache);
+
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, 2u);
+    EXPECT_EQ(stats.jobs_completed, 2u);
+}
+
+TEST(ServiceTest, LruEvictionDropsTheColdestEntry)
+{
+    CompilationService svc({1, 2}); // room for two results
+    (void)svc.submit(smallJob(1)).get();
+    (void)svc.submit(smallJob(2)).get();
+    (void)svc.submit(smallJob(3)).get(); // evicts job 1
+    EXPECT_EQ(svc.stats().cache_evictions, 1u);
+    EXPECT_EQ(svc.stats().cache_entries, 2u);
+
+    // Job 1 was evicted: resubmission misses and recompiles (and in turn
+    // evicts job 2, the new least-recently-used entry).
+    const JobResult again = svc.submit(smallJob(1)).get();
+    EXPECT_FALSE(again.from_cache);
+    EXPECT_EQ(svc.stats().cache_evictions, 2u);
+
+    // Job 3 stayed resident.
+    EXPECT_TRUE(svc.submit(smallJob(3)).get().from_cache);
+}
+
+TEST(ServiceTest, ZeroCapacityDisablesCaching)
+{
+    CompilationService svc({2, 0});
+    (void)svc.submit(smallJob()).get();
+    const JobResult second = svc.submit(smallJob()).get();
+    EXPECT_FALSE(second.from_cache);
+    EXPECT_EQ(svc.stats().jobs_completed, 2u);
+    EXPECT_EQ(svc.stats().cache_entries, 0u);
+}
+
+TEST(ServiceTest, ConfigErrorPropagatesThroughTheFuture)
+{
+    CompilationService svc({2, 16});
+
+    // 9 qubits cannot fit a 2x2 compute zone in storage-free mode.
+    Circuit circuit(9);
+    circuit.append(CzGate{0, 1});
+    CompileJob job{circuit, MachineConfig::forQubits(4), {}};
+    job.options.use_storage = false;
+
+    EXPECT_THROW(svc.submit(job).get(), ConfigError);
+    EXPECT_EQ(svc.stats().jobs_failed, 1u);
+
+    // Failures are never cached: resubmission fails afresh.
+    EXPECT_THROW(svc.submit(job).get(), ConfigError);
+    EXPECT_EQ(svc.stats().jobs_failed, 2u);
+}
+
+TEST(ServiceTest, CompilerConstructionErrorAlsoPropagates)
+{
+    CompilationService svc({2, 16});
+    CompileJob job = smallJob();
+    job.options.num_aods = 0; // rejected by PowerMoveCompiler's ctor
+    EXPECT_THROW(svc.submit(job).get(), ConfigError);
+}
+
+TEST(ServiceTest, IdenticalSubmissionsCompileExactlyOnce)
+{
+    CompilationService svc({2, 16});
+    const CompileJob job = smallJob();
+
+    std::vector<std::future<JobResult>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(svc.submit(job));
+    for (auto &future : futures)
+        EXPECT_TRUE(future.get().result != nullptr);
+
+    // Every duplicate either coalesced onto the in-flight job or hit the
+    // cache; exactly one compilation ever ran.
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.jobs_submitted, 16u);
+    EXPECT_EQ(stats.jobs_completed, 1u);
+    EXPECT_EQ(stats.coalesced + stats.cache_hits, 15u);
+}
+
+TEST(ServiceTest, CompileBatchReportsPerJobOutcomes)
+{
+    CompilationService svc({2, 16});
+
+    Circuit too_big(9);
+    too_big.append(CzGate{0, 1});
+    CompileJob bad{too_big, MachineConfig::forQubits(4), {}};
+    bad.options.use_storage = false;
+
+    std::vector<CompileJob> jobs;
+    jobs.push_back(smallJob(1));
+    jobs.push_back(bad);
+    jobs.push_back(smallJob(2));
+
+    const std::vector<BatchEntry> entries = svc.compileBatch(std::move(jobs));
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_TRUE(entries[0].ok());
+    EXPECT_FALSE(entries[1].ok());
+    EXPECT_NE(entries[1].error.find("too small"), std::string::npos);
+    EXPECT_TRUE(entries[2].ok());
+}
+
+TEST(ServiceTest, MachinesAreInternedAcrossJobs)
+{
+    CompilationService svc({2, 16});
+    const JobResult a = svc.submit(smallJob(1)).get();
+    const JobResult b = svc.submit(smallJob(2)).get();
+    EXPECT_EQ(a.machine.get(), b.machine.get());
+    EXPECT_EQ(svc.stats().machines_built, 1u);
+}
+
+TEST(ServiceTest, MachinesExpireOnceNothingReferencesThem)
+{
+    CompilationService svc({1, 1}); // cache holds exactly one result
+
+    // Job on config X; its JobResult (the only client ref) is dropped
+    // immediately, leaving the cache entry as the machine's sole owner.
+    (void)svc.submit(smallJob(1)).get();
+    EXPECT_EQ(svc.stats().machines_built, 1u);
+
+    // A cached hit must still carry a live machine. Scoped so this
+    // JobResult's machine reference dies before the eviction below.
+    {
+        const JobResult hit = svc.submit(smallJob(1)).get();
+        ASSERT_TRUE(hit.from_cache);
+        ASSERT_TRUE(hit.machine);
+        EXPECT_EQ(hit.machine->config().compute_cols, 2);
+    }
+
+    // Config Y evicts X's entry; with no cache entry and no client
+    // holding X's machine, the weak intern expires, and compiling for X
+    // again rebuilds it.
+    Circuit nine(9);
+    nine.append(CzGate{0, 8});
+    (void)svc.submit(CompileJob{nine, MachineConfig::forQubits(9), {}}).get();
+    EXPECT_EQ(svc.stats().machines_built, 2u);
+
+    (void)svc.submit(smallJob(2)).get(); // config X once more
+    EXPECT_EQ(svc.stats().machines_built, 3u);
+}
+
+TEST(ServiceTest, CachedResultOutlivesEvictionAndService)
+{
+    JobResult kept;
+    {
+        CompilationService svc({1, 1});
+        kept = svc.submit(smallJob(1)).get();
+        (void)svc.submit(smallJob(2)).get(); // evicts job 1's entry
+    }
+    // The schedule's machine reference must survive both the eviction
+    // and the service's destruction because the JobResult co-owns it.
+    ASSERT_TRUE(kept.result);
+    validateAgainstCircuit(kept.result->schedule, smallJob(1).circuit);
+    EXPECT_EQ(&kept.result->schedule.machine(), kept.machine.get());
+}
+
+TEST(ServiceTest, WaitIdleDrainsTheQueue)
+{
+    CompilationService svc({4, 64});
+    std::vector<std::future<JobResult>> futures;
+    for (std::size_t v = 1; v <= 12; ++v)
+        futures.push_back(svc.submit(smallJob(v)));
+    svc.waitIdle();
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.jobs_completed + stats.jobs_failed, 12u);
+    for (auto &future : futures)
+        EXPECT_TRUE(future.get().result != nullptr);
+}
+
+/**
+ * Acceptance: the full 23-entry Table 2 suite compiled through 8 workers
+ * is bit-identical to a serial (1-worker) run of the same service.
+ */
+TEST(ServiceTest, FullSuiteSerialVsEightWorkersBitIdentical)
+{
+    std::vector<CompileJob> jobs;
+    for (const BenchmarkSpec &spec : table2Suite())
+        jobs.push_back(CompileJob{spec.build(), spec.machine_config, {}});
+    ASSERT_EQ(jobs.size(), 23u);
+
+    CompilationService serial({1, 64});
+    CompilationService parallel({8, 64});
+    const auto serial_out = serial.compileBatch(jobs);
+    const auto parallel_out = parallel.compileBatch(jobs);
+
+    ASSERT_EQ(serial_out.size(), parallel_out.size());
+    for (std::size_t i = 0; i < serial_out.size(); ++i) {
+        ASSERT_TRUE(serial_out[i].ok()) << serial_out[i].error;
+        ASSERT_TRUE(parallel_out[i].ok()) << parallel_out[i].error;
+        expectIdenticalMetrics(*serial_out[i].result.result,
+                               *parallel_out[i].result.result);
+    }
+    EXPECT_EQ(parallel.stats().jobs_completed, 23u);
+}
+
+/** Stress: the whole suite submitted concurrently from many threads. */
+TEST(ServiceTest, ConcurrentSuiteStress)
+{
+    std::vector<CompileJob> jobs;
+    for (const BenchmarkSpec &spec : table2Suite())
+        jobs.push_back(CompileJob{spec.build(), spec.machine_config, {}});
+
+    CompilationService svc({8, 64});
+    constexpr std::size_t kSubmitters = 4;
+    std::vector<std::vector<std::future<JobResult>>> futures(kSubmitters);
+    {
+        std::vector<std::thread> submitters;
+        for (std::size_t t = 0; t < kSubmitters; ++t) {
+            submitters.emplace_back([&, t] {
+                for (const CompileJob &job : jobs)
+                    futures[t].push_back(svc.submit(job));
+            });
+        }
+        for (std::thread &submitter : submitters)
+            submitter.join();
+    }
+
+    for (auto &lane : futures) {
+        for (std::size_t i = 0; i < lane.size(); ++i) {
+            const JobResult out = lane[i].get();
+            ASSERT_TRUE(out.result);
+            validateAgainstCircuit(out.result->schedule, jobs[i].circuit);
+        }
+    }
+
+    // Each distinct job compiled exactly once no matter how submissions
+    // interleaved with completions.
+    const ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.jobs_submitted, kSubmitters * jobs.size());
+    EXPECT_EQ(stats.jobs_completed, jobs.size());
+    EXPECT_EQ(stats.coalesced + stats.cache_hits,
+              (kSubmitters - 1) * jobs.size());
+    EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+} // namespace
+} // namespace powermove::service

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The `powermove` command-line front-end.
+ *
+ * Reads one or more OpenQASM 2.0 files, compiles them concurrently
+ * through the batch CompilationService, writes one ISA JSON document
+ * per input (`<stem>.isa.json`), and prints a fidelity/summary report
+ * per circuit. Duplicate inputs (or re-runs against a warm service) are
+ * deduplicated by the content-addressed cache.
+ *
+ * Usage:
+ *   powermove [options] <file.qasm>...
+ *
+ * Options:
+ *   --jobs N       worker threads (default: one per hardware thread)
+ *   --num-aods N   independent AOD arrays per compilation (default 1)
+ *   --no-storage   storage-free configuration (all qubits in compute)
+ *   --seed S       base RNG seed (per-job streams are derived from it)
+ *   --fuse         fuse commutable CZ blocks before compiling
+ *   --out-dir DIR  directory for ISA JSON (default: next to each input)
+ *   --no-json      skip ISA JSON emission
+ *   --stats        print service counters before exiting
+ *   --help         this text
+ *
+ * Exit status: 0 if every input compiled, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "circuit/fuse.hpp"
+#include "common/error.hpp"
+#include "isa/json.hpp"
+#include "isa/validator.hpp"
+#include "qasm/converter.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace powermove;
+
+struct CliOptions
+{
+    std::vector<std::string> inputs;
+    std::size_t jobs = 0; // 0 = hardware concurrency
+    CompilerOptions compiler;
+    bool fuse = false;
+    bool emit_json = true;
+    bool print_stats = false;
+    std::string out_dir;
+};
+
+void
+printUsage(std::FILE *stream)
+{
+    std::fprintf(
+        stream,
+        "usage: powermove [options] <file.qasm>...\n"
+        "\n"
+        "Compiles OpenQASM 2.0 circuits for a zoned neutral-atom machine\n"
+        "through a thread-pooled, cache-fronted batch service, emitting\n"
+        "<stem>.isa.json plus a fidelity summary per input.\n"
+        "\n"
+        "options:\n"
+        "  --jobs N       worker threads (default: hardware concurrency)\n"
+        "  --num-aods N   independent AOD arrays (default 1)\n"
+        "  --no-storage   storage-free configuration\n"
+        "  --seed S       base RNG seed (default 0xC0FFEE)\n"
+        "  --fuse         fuse commutable CZ blocks before compiling\n"
+        "  --out-dir DIR  directory for ISA JSON output\n"
+        "  --no-json      skip ISA JSON emission\n"
+        "  --stats        print service counters before exiting\n"
+        "  --help         show this text\n");
+}
+
+/** Parses argv; returns false (after usage) on malformed input. */
+bool
+parseArgs(int argc, char **argv, CliOptions &cli)
+{
+    const auto numeric = [&](const char *flag, int &i,
+                             std::uint64_t &out) -> bool {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "powermove: %s requires a value\n", flag);
+            return false;
+        }
+        const char *text = argv[++i];
+        char *end = nullptr;
+        // strtoull silently wraps negatives to huge values; reject signs.
+        out = (*text == '-' || *text == '+')
+                  ? 0
+                  : std::strtoull(text, &end, 0);
+        if (end == text || end == nullptr || *end != '\0') {
+            std::fprintf(stderr, "powermove: bad value for %s: '%s'\n", flag,
+                         text);
+            return false;
+        }
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::uint64_t value = 0;
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (!numeric("--jobs", i, value))
+                return false;
+            cli.jobs = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--num-aods") == 0) {
+            if (!numeric("--num-aods", i, value))
+                return false;
+            cli.compiler.num_aods = static_cast<std::size_t>(value);
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (!numeric("--seed", i, value))
+                return false;
+            cli.compiler.seed = value;
+        } else if (std::strcmp(arg, "--no-storage") == 0) {
+            cli.compiler.use_storage = false;
+        } else if (std::strcmp(arg, "--fuse") == 0) {
+            cli.fuse = true;
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            cli.emit_json = false;
+        } else if (std::strcmp(arg, "--stats") == 0) {
+            cli.print_stats = true;
+        } else if (std::strcmp(arg, "--out-dir") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "powermove: --out-dir requires a value\n");
+                return false;
+            }
+            cli.out_dir = argv[++i];
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::fprintf(stderr, "powermove: unknown option '%s'\n", arg);
+            printUsage(stderr);
+            return false;
+        } else {
+            cli.inputs.push_back(arg);
+        }
+    }
+    if (cli.inputs.empty()) {
+        std::fprintf(stderr, "powermove: no input files\n");
+        printUsage(stderr);
+        return false;
+    }
+    return true;
+}
+
+/** `<out-dir or input dir>/<stem>.isa.json` for @p input. */
+std::filesystem::path
+jsonPathFor(const std::string &input, const std::string &out_dir)
+{
+    const std::filesystem::path source(input);
+    std::filesystem::path dir =
+        out_dir.empty() ? source.parent_path() : std::filesystem::path(out_dir);
+    return dir / (source.stem().string() + ".isa.json");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    if (!parseArgs(argc, argv, cli))
+        return 1;
+
+    if (!cli.out_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cli.out_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "powermove: cannot create '%s': %s\n",
+                         cli.out_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    }
+
+    service::CompilationService svc({cli.jobs, /*cache_capacity=*/256});
+
+    // Load every input and submit it immediately, so the pool compiles
+    // early files while later ones are still being parsed.
+    struct InFlight
+    {
+        std::string input;
+        Circuit circuit;
+        std::future<service::JobResult> future;
+        std::string load_error;
+    };
+    std::vector<InFlight> flights;
+    flights.reserve(cli.inputs.size());
+
+    for (const std::string &input : cli.inputs) {
+        InFlight flight;
+        flight.input = input;
+        try {
+            qasm::ConvertResult loaded = qasm::loadQasmFile(input);
+            Circuit circuit = std::move(loaded.circuit);
+            circuit.setName(std::filesystem::path(input).stem().string());
+            if (cli.fuse)
+                circuit = fuseCommutableBlocks(circuit);
+            const MachineConfig config =
+                MachineConfig::forQubits(circuit.numQubits());
+            flight.circuit = circuit;
+            flight.future =
+                svc.submit(std::move(circuit), config, cli.compiler);
+        } catch (const std::exception &e) {
+            flight.load_error = e.what();
+        }
+        flights.push_back(std::move(flight));
+    }
+
+    int failures = 0;
+    for (InFlight &flight : flights) {
+        if (!flight.load_error.empty()) {
+            std::fprintf(stderr, "powermove: %s: %s\n", flight.input.c_str(),
+                         flight.load_error.c_str());
+            ++failures;
+            continue;
+        }
+        try {
+            const service::JobResult out = flight.future.get();
+            const CompileResult &result = *out.result;
+            validateAgainstCircuit(result.schedule, flight.circuit);
+
+            std::printf("%s: %zu qubits, %zu CZ gates, %zu 1Q gates%s\n",
+                        flight.input.c_str(), flight.circuit.numQubits(),
+                        flight.circuit.numCzGates(),
+                        flight.circuit.numOneQGates(),
+                        out.from_cache ? " [cached]" : "");
+            std::printf("  schedule: %zu stages, %zu coll-moves, %zu "
+                        "transfers\n",
+                        result.num_stages, result.num_coll_moves,
+                        result.schedule.numTransfers());
+            std::printf("  metrics: %s\n", result.metrics.toString().c_str());
+            std::printf("  compile time: %.1f us\n",
+                        result.compile_time.micros());
+
+            if (cli.emit_json) {
+                const auto json_path = jsonPathFor(flight.input, cli.out_dir);
+                std::ofstream json_file(json_path);
+                if (!json_file) {
+                    std::fprintf(stderr, "powermove: cannot write '%s'\n",
+                                 json_path.string().c_str());
+                    ++failures;
+                    continue;
+                }
+                json_file << scheduleToJson(result.schedule) << '\n';
+                std::printf("  isa json: %s\n", json_path.string().c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "powermove: %s: %s\n", flight.input.c_str(),
+                         e.what());
+            ++failures;
+        }
+    }
+
+    if (cli.print_stats) {
+        const service::ServiceStats stats = svc.stats();
+        std::printf("service: %zu workers; %zu submitted, %zu compiled, "
+                    "%zu failed; cache %zu hit / %zu miss / %zu evicted "
+                    "(%zu resident); %zu coalesced; %zu machines\n",
+                    stats.num_workers, stats.jobs_submitted,
+                    stats.jobs_completed, stats.jobs_failed, stats.cache_hits,
+                    stats.cache_misses, stats.cache_evictions,
+                    stats.cache_entries, stats.coalesced,
+                    stats.machines_built);
+    }
+    return failures == 0 ? 0 : 1;
+}
