@@ -46,10 +46,10 @@ main()
 
         run("full", {});
         CompilerOptions no_stage_order;
-        no_stage_order.reorder_stages = false;
+        no_stage_order.stage_order = StageOrderStrategy::AsPartitioned;
         run("no stage scheduler", no_stage_order);
         CompilerOptions no_cm_order;
-        no_cm_order.order_coll_moves = false;
+        no_cm_order.coll_move_order = CollMoveOrderStrategy::AsGrouped;
         run("no coll-move order", no_cm_order);
         for (const double alpha : {0.1, 1.0}) {
             CompilerOptions options;

@@ -40,6 +40,21 @@ compileBestOf(CompileFn &&compile, int repeats = 3)
     return best;
 }
 
+/**
+ * PowerMove options for compile-time measurement: pass profiling off so
+ * the T_comp columns carry no per-stage clock-read overhead (profiling
+ * never changes the schedule, only the timing).
+ */
+inline CompilerOptions
+timingOptions(bool use_storage, std::size_t num_aods)
+{
+    CompilerOptions options;
+    options.use_storage = use_storage;
+    options.num_aods = num_aods;
+    options.profile_passes = false;
+    return options;
+}
+
 /** Runs Enola, PowerMove w/o storage, and PowerMove w/ storage. */
 inline TrioResult
 runTrio(const BenchmarkSpec &spec, std::size_t num_aods = 1)
@@ -49,8 +64,8 @@ runTrio(const BenchmarkSpec &spec, std::size_t num_aods = 1)
     EnolaOptions enola_options;
     enola_options.num_aods = 1; // the paper evaluates Enola with one AOD
     const EnolaCompiler enola(machine, enola_options);
-    const PowerMoveCompiler without(machine, {false, num_aods});
-    const PowerMoveCompiler with(machine, {true, num_aods});
+    const PowerMoveCompiler without(machine, timingOptions(false, num_aods));
+    const PowerMoveCompiler with(machine, timingOptions(true, num_aods));
     return TrioResult{
         compileBestOf([&] { return enola.compile(circuit); }),
         compileBestOf([&] { return without.compile(circuit); }),

@@ -23,7 +23,9 @@ BM_PowerMoveCompileQaoa(benchmark::State &state)
     const auto n = static_cast<std::size_t>(state.range(0));
     const Machine machine(MachineConfig::forQubits(n));
     const Circuit circuit = makeQaoaRegular(n, 3, 1, n);
-    const PowerMoveCompiler compiler(machine, {true, 1});
+    CompilerOptions options;
+    options.profile_passes = false; // measure the bare pipeline
+    const PowerMoveCompiler compiler(machine, options);
     for (auto _ : state) {
         auto result = compiler.compile(circuit);
         benchmark::DoNotOptimize(result);
@@ -51,7 +53,9 @@ BM_PowerMoveCompileQft(benchmark::State &state)
     const auto n = static_cast<std::size_t>(state.range(0));
     const Machine machine(MachineConfig::forQubits(n));
     const Circuit circuit = makeQft(n);
-    const PowerMoveCompiler compiler(machine, {true, 1});
+    CompilerOptions options;
+    options.profile_passes = false; // measure the bare pipeline
+    const PowerMoveCompiler compiler(machine, options);
     for (auto _ : state) {
         auto result = compiler.compile(circuit);
         benchmark::DoNotOptimize(result);

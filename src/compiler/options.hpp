@@ -1,6 +1,14 @@
 /**
  * @file
  * PowerMove compiler configuration.
+ *
+ * Fingerprint invariant: every field of CompilerOptions must be hashed
+ * by service::fingerprintOptions() — the batch service's compile cache
+ * addresses results by that hash, so an unhashed field would let two
+ * different configurations share a cache entry. fingerprint.cpp guards
+ * the invariant with a sizeof static_assert and fingerprint_test.cpp
+ * with a structured-binding field-count probe; extend all three when
+ * adding a field here.
  */
 
 #ifndef POWERMOVE_COMPILER_OPTIONS_HPP
@@ -9,6 +17,7 @@
 #include <cstdint>
 
 #include "collsched/multi_aod.hpp"
+#include "compiler/strategies.hpp"
 
 namespace powermove {
 
@@ -45,18 +54,23 @@ struct CompilerOptions
      */
     std::uint64_t seed = 0xC0FFEE;
 
-    /**
-     * Run the Sec. 4.2 stage scheduler. Disabling keeps the raw edge-
-     * coloring order; used by the component ablation benchmarks.
-     */
-    bool reorder_stages = true;
+    /** How the PlacementPass builds the initial layout. */
+    PlacementStrategy placement = PlacementStrategy::RowMajor;
 
     /**
-     * Run the Sec. 6.1 intra-stage Coll-Move scheduler (move-ins early,
-     * move-outs late). Disabling keeps the grouping order; used by the
-     * component ablation benchmarks.
+     * Stage ordering within each CZ block. ZoneAware runs the Sec. 4.2
+     * stage scheduler; AsPartitioned keeps the raw edge-coloring order
+     * (the component-ablation baseline).
      */
-    bool order_coll_moves = true;
+    StageOrderStrategy stage_order = StageOrderStrategy::ZoneAware;
+
+    /**
+     * Coll-Move ordering within each stage transition. StorageDwell runs
+     * the Sec. 6.1 intra-stage scheduler (move-ins early, move-outs
+     * late); AsGrouped keeps the distance-grouping order (the
+     * component-ablation baseline).
+     */
+    CollMoveOrderStrategy coll_move_order = CollMoveOrderStrategy::StorageDwell;
 
     /**
      * How Coll-Moves are split across AOD arrays: InOrder is the paper's
@@ -64,6 +78,14 @@ struct CompilerOptions
      * move duration first, trading storage-dwell order for makespan.
      */
     AodBatchPolicy aod_batch_policy = AodBatchPolicy::InOrder;
+
+    /**
+     * Record per-pass wall times and counters into
+     * CompileResult::pass_profiles. Profiling never changes the emitted
+     * schedule; disabling only removes the clock reads from the hot loop
+     * and leaves pass_profiles empty.
+     */
+    bool profile_passes = true;
 };
 
 } // namespace powermove

@@ -1,0 +1,318 @@
+#include "compiler/pipeline.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "collsched/intra_stage.hpp"
+#include "collsched/multi_aod.hpp"
+#include "common/error.hpp"
+#include "fidelity/evaluator.hpp"
+#include "route/grouping.hpp"
+#include "schedule/stage_partition.hpp"
+
+namespace powermove {
+
+namespace {
+
+// --------------------------------------------------- placement strategies
+
+class RowMajorPlacement final : public PlacementMethod
+{
+  public:
+    void
+    place(Layout &layout, ZoneKind zone, const Circuit &) const override
+    {
+        placeRowMajor(layout, zone);
+    }
+};
+
+class ColumnInterleavedPlacement final : public PlacementMethod
+{
+  public:
+    void
+    place(Layout &layout, ZoneKind zone, const Circuit &) const override
+    {
+        placeColumnInterleaved(layout, zone);
+    }
+};
+
+class UsageFrequencyPlacement final : public PlacementMethod
+{
+  public:
+    void
+    place(Layout &layout, ZoneKind zone, const Circuit &circuit) const override
+    {
+        // Weight = CZ-gate count: each CZ forces the qubit toward the
+        // compute zone, so heavy qubits should start nearest to it.
+        std::vector<std::size_t> weights(circuit.numQubits(), 0);
+        for (const Moment &moment : circuit.moments()) {
+            const auto *block = std::get_if<CzBlock>(&moment);
+            if (block == nullptr)
+                continue;
+            for (const CzGate &gate : block->gates) {
+                ++weights[gate.a];
+                ++weights[gate.b];
+            }
+        }
+        placeByUsageFrequency(layout, zone, weights);
+    }
+};
+
+// -------------------------------------------------- stage-order strategies
+
+class AsPartitionedStageOrder final : public StageOrderMethod
+{
+  public:
+    std::vector<Stage>
+    order(std::vector<Stage> stages, const StageOrderOptions &) const override
+    {
+        return stages;
+    }
+};
+
+class ZoneAwareStageOrder final : public StageOrderMethod
+{
+  public:
+    std::vector<Stage>
+    order(std::vector<Stage> stages,
+          const StageOrderOptions &options) const override
+    {
+        return orderStages(std::move(stages), options);
+    }
+};
+
+// ---------------------------------------------- coll-move-order strategies
+
+class AsGroupedCollMoveOrder final : public CollMoveOrderMethod
+{
+  public:
+    std::vector<CollMove>
+    order(const Machine &, std::vector<CollMove> groups) const override
+    {
+        return groups;
+    }
+};
+
+class StorageDwellCollMoveOrder final : public CollMoveOrderMethod
+{
+  public:
+    std::vector<CollMove>
+    order(const Machine &machine, std::vector<CollMove> groups) const override
+    {
+        return orderCollMoves(machine, std::move(groups));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<const PlacementMethod>
+makePlacementMethod(PlacementStrategy strategy)
+{
+    switch (strategy) {
+    case PlacementStrategy::RowMajor:
+        return std::make_unique<RowMajorPlacement>();
+    case PlacementStrategy::ColumnInterleaved:
+        return std::make_unique<ColumnInterleavedPlacement>();
+    case PlacementStrategy::UsageFrequency:
+        return std::make_unique<UsageFrequencyPlacement>();
+    }
+    fatal("unknown placement strategy");
+}
+
+std::unique_ptr<const StageOrderMethod>
+makeStageOrderMethod(StageOrderStrategy strategy)
+{
+    switch (strategy) {
+    case StageOrderStrategy::AsPartitioned:
+        return std::make_unique<AsPartitionedStageOrder>();
+    case StageOrderStrategy::ZoneAware:
+        return std::make_unique<ZoneAwareStageOrder>();
+    }
+    fatal("unknown stage-order strategy");
+}
+
+std::unique_ptr<const CollMoveOrderMethod>
+makeCollMoveOrderMethod(CollMoveOrderStrategy strategy)
+{
+    switch (strategy) {
+    case CollMoveOrderStrategy::AsGrouped:
+        return std::make_unique<AsGroupedCollMoveOrder>();
+    case CollMoveOrderStrategy::StorageDwell:
+        return std::make_unique<StorageDwellCollMoveOrder>();
+    }
+    fatal("unknown coll-move-order strategy");
+}
+
+// ------------------------------------------------------------------- passes
+
+PlacementPass::PlacementPass(PlacementStrategy strategy)
+    : method_(makePlacementMethod(strategy))
+{}
+
+void
+PlacementPass::run(PipelineContext &ctx) const
+{
+    const auto timing = ctx.profiler.time(PassId::Placement);
+    // The initial layout sits entirely in storage (Sec. 4.2) so that no
+    // qubit is exposed to the first excitations; without a storage zone
+    // everything starts in the compute zone instead.
+    const ZoneKind zone =
+        ctx.options.use_storage ? ZoneKind::Storage : ZoneKind::Compute;
+    method_->place(ctx.layout, zone, ctx.circuit);
+
+    std::vector<SiteId> initial_sites(ctx.circuit.numQubits());
+    for (QubitId q = 0; q < ctx.circuit.numQubits(); ++q)
+        initial_sites[q] = ctx.layout.siteOf(q);
+    ctx.schedule.emplace(ctx.machine, std::move(initial_sites));
+
+    ctx.profiler.addCounter(PassId::Placement, "qubits_placed",
+                            ctx.circuit.numQubits());
+}
+
+std::vector<Stage>
+StagePartitionPass::run(PipelineContext &ctx, const CzBlock &block) const
+{
+    const auto timing = ctx.profiler.time(PassId::StagePartition);
+    auto stages = partitionIntoStages(block, ctx.circuit.numQubits());
+    ctx.profiler.addCounter(PassId::StagePartition, "gates",
+                            block.gates.size());
+    ctx.profiler.addCounter(PassId::StagePartition, "stages_produced",
+                            stages.size());
+    return stages;
+}
+
+StageOrderPass::StageOrderPass(StageOrderStrategy strategy)
+    : method_(makeStageOrderMethod(strategy))
+{}
+
+std::vector<Stage>
+StageOrderPass::run(PipelineContext &ctx, std::vector<Stage> stages) const
+{
+    const auto timing = ctx.profiler.time(PassId::StageOrder);
+    ctx.profiler.addCounter(PassId::StageOrder, "stages_ordered",
+                            stages.size());
+    return method_->order(std::move(stages),
+                          StageOrderOptions{ctx.options.stage_order_alpha});
+}
+
+RoutingPass::RoutingPass(PipelineContext &ctx)
+    : router_(ctx.machine,
+              RouterOptions{ctx.options.use_storage, ctx.options.seed},
+              ctx.rng)
+{}
+
+TransitionPlan
+RoutingPass::run(PipelineContext &ctx, const Stage &stage)
+{
+    const auto timing = ctx.profiler.time(PassId::Routing);
+    TransitionPlan plan = router_.planStageTransition(ctx.layout, stage);
+    ctx.profiler.addCounter(PassId::Routing, "moves_planned",
+                            plan.moves.size());
+    ctx.profiler.addCounter(PassId::Routing, "qubits_parked",
+                            plan.num_parked);
+    ctx.profiler.addCounter(PassId::Routing, "qubits_evicted",
+                            plan.num_evicted);
+    return plan;
+}
+
+CollMoveOrderPass::CollMoveOrderPass(CollMoveOrderStrategy strategy)
+    : method_(makeCollMoveOrderMethod(strategy))
+{}
+
+std::vector<CollMove>
+CollMoveOrderPass::run(PipelineContext &ctx,
+                       std::vector<QubitMove> moves) const
+{
+    const auto timing = ctx.profiler.time(PassId::CollMoveOrder);
+    auto groups =
+        method_->order(ctx.machine, groupMoves(ctx.machine, std::move(moves)));
+    ctx.profiler.addCounter(PassId::CollMoveOrder, "groups_formed",
+                            groups.size());
+    return groups;
+}
+
+std::vector<AodBatch>
+AodBatchPass::run(PipelineContext &ctx, std::vector<CollMove> groups) const
+{
+    const auto timing = ctx.profiler.time(PassId::AodBatch);
+    auto batches =
+        batchForAods(ctx.machine, std::move(groups), ctx.options.num_aods,
+                     ctx.options.aod_batch_policy);
+    ctx.profiler.addCounter(PassId::AodBatch, "batches_emitted",
+                            batches.size());
+    return batches;
+}
+
+// ------------------------------------------------------------------- driver
+
+Pipeline::Pipeline(const Machine &machine, CompilerOptions options)
+    : machine_(machine), options_(options)
+{
+    if (options_.num_aods == 0)
+        fatal("compiler requires at least one AOD array");
+}
+
+CompileResult
+Pipeline::run(const Circuit &circuit) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    PipelineContext ctx{machine_,
+                        options_,
+                        circuit,
+                        Layout(machine_, circuit.numQubits()),
+                        std::nullopt,
+                        Rng(options_.seed),
+                        PassProfiler(options_.profile_passes)};
+
+    const PlacementPass placement(options_.placement);
+    const StagePartitionPass partition;
+    const StageOrderPass stage_order(options_.stage_order);
+    RoutingPass routing(ctx);
+    const CollMoveOrderPass coll_move_order(options_.coll_move_order);
+    const AodBatchPass aod_batch;
+
+    placement.run(ctx);
+
+    for (const auto &moment : circuit.moments()) {
+        if (const auto *one_q = std::get_if<OneQLayer>(&moment)) {
+            ctx.schedule->addOneQLayer(one_q->gates.size(),
+                                       one_q->depth(circuit.numQubits()));
+            continue;
+        }
+        const auto &block = std::get<CzBlock>(moment);
+
+        // Stage Scheduler: partition, then strategy-selected ordering.
+        auto stages = stage_order.run(ctx, partition.run(ctx, block));
+
+        for (const auto &stage : stages) {
+            // Continuous Router: direct transition into the stage layout.
+            TransitionPlan plan = routing.run(ctx, stage);
+
+            // Coll-Move grouping/ordering, then AOD batching.
+            auto groups = coll_move_order.run(ctx, std::move(plan.moves));
+            ctx.num_coll_moves += groups.size();
+            for (auto &batch : aod_batch.run(ctx, std::move(groups)))
+                ctx.schedule->addMoveBatch(std::move(batch));
+
+            ctx.schedule->addRydberg(stage.gates, ctx.block_index);
+            ++ctx.num_stages;
+        }
+        ++ctx.block_index;
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(stop - start).count();
+
+    CompileResult result{std::move(*ctx.schedule),
+                         {},
+                         Duration::micros(elapsed_us),
+                         ctx.num_stages,
+                         ctx.num_coll_moves,
+                         ctx.profiler.finish()};
+    result.metrics = evaluateSchedule(result.schedule);
+    return result;
+}
+
+} // namespace powermove

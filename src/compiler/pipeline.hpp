@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The explicit pass pipeline behind PowerMoveCompiler (paper Fig. 1b).
+ *
+ * One compilation is a walk over the circuit's moments driven by
+ * Pipeline::run(), threading a PipelineContext (layout, schedule in
+ * progress, RNG, counters) through six named passes:
+ *
+ *   PlacementPass      initial layout (strategy-selected)        [once]
+ *   StagePartitionPass edge-coloring stage partition (Sec. 4.1)  [per block]
+ *   StageOrderPass     zone-aware stage ordering (Sec. 4.2)      [per block]
+ *   RoutingPass        continuous layout transitions (Sec. 5)    [per stage]
+ *   CollMoveOrderPass  grouping + storage-dwell order (5.3/6.1)  [per stage]
+ *   AodBatchPass       multi-AOD parallel batching (Sec. 6.2)    [per stage]
+ *
+ * Passes with more than one algorithm delegate to a small strategy
+ * interface (PlacementMethod, StageOrderMethod, CollMoveOrderMethod)
+ * selected by the CompilerOptions enums, so new strategies from the
+ * related literature — reuse-aware routing, routing-aware placement —
+ * slot in without forking the driver. Each pass invocation is timed and
+ * counted by the context's PassProfiler (see compiler/profile.hpp).
+ *
+ * With default options the pipeline reproduces the pre-pipeline
+ * monolithic compiler bit-for-bit (pipeline_test.cpp locks this in
+ * against an inline legacy reference across the Table 2 suite).
+ */
+
+#ifndef POWERMOVE_COMPILER_PIPELINE_HPP
+#define POWERMOVE_COMPILER_PIPELINE_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "compiler/options.hpp"
+#include "compiler/profile.hpp"
+#include "compiler/result.hpp"
+#include "isa/machine_schedule.hpp"
+#include "route/router.hpp"
+#include "schedule/stage.hpp"
+#include "schedule/stage_order.hpp"
+
+namespace powermove {
+
+/** Everything a pass may read or mutate during one compilation. */
+struct PipelineContext
+{
+    const Machine &machine;
+    const CompilerOptions &options;
+    const Circuit &circuit;
+    /** Qubit occupancy; created unplaced, owned by the PlacementPass on. */
+    Layout layout;
+    /** Engaged by the PlacementPass once initial sites are known. */
+    std::optional<MachineSchedule> schedule;
+    /** The compilation's single randomized-decision stream. */
+    Rng rng;
+    /** Per-pass wall times and counters. */
+    PassProfiler profiler;
+    std::size_t num_stages = 0;
+    std::size_t num_coll_moves = 0;
+    std::size_t block_index = 0;
+};
+
+// ------------------------------------------------------- strategy interfaces
+
+/** Strategy interface of the PlacementPass. */
+class PlacementMethod
+{
+  public:
+    virtual ~PlacementMethod() = default;
+    /** Places every unplaced qubit of @p layout into @p zone. */
+    virtual void place(Layout &layout, ZoneKind zone,
+                       const Circuit &circuit) const = 0;
+};
+
+/** Strategy interface of the StageOrderPass. */
+class StageOrderMethod
+{
+  public:
+    virtual ~StageOrderMethod() = default;
+    virtual std::vector<Stage> order(std::vector<Stage> stages,
+                                     const StageOrderOptions &options)
+        const = 0;
+};
+
+/** Strategy interface of the CollMoveOrderPass (post-grouping order). */
+class CollMoveOrderMethod
+{
+  public:
+    virtual ~CollMoveOrderMethod() = default;
+    virtual std::vector<CollMove> order(const Machine &machine,
+                                        std::vector<CollMove> groups)
+        const = 0;
+};
+
+/** Factory for the selected placement algorithm. */
+std::unique_ptr<const PlacementMethod>
+makePlacementMethod(PlacementStrategy strategy);
+
+/** Factory for the selected stage-order algorithm. */
+std::unique_ptr<const StageOrderMethod>
+makeStageOrderMethod(StageOrderStrategy strategy);
+
+/** Factory for the selected Coll-Move-order algorithm. */
+std::unique_ptr<const CollMoveOrderMethod>
+makeCollMoveOrderMethod(CollMoveOrderStrategy strategy);
+
+// ------------------------------------------------------------------- passes
+
+/**
+ * Builds the initial layout (into storage when options.use_storage,
+ * else into the compute zone) and engages ctx.schedule with the
+ * resulting per-qubit sites.
+ */
+class PlacementPass
+{
+  public:
+    explicit PlacementPass(PlacementStrategy strategy);
+    void run(PipelineContext &ctx) const;
+
+  private:
+    std::unique_ptr<const PlacementMethod> method_;
+};
+
+/** Partitions one CZ block into disjoint-qubit stages (Algorithm 1). */
+class StagePartitionPass
+{
+  public:
+    std::vector<Stage> run(PipelineContext &ctx, const CzBlock &block) const;
+};
+
+/** Orders the stages of one block per the selected strategy. */
+class StageOrderPass
+{
+  public:
+    explicit StageOrderPass(StageOrderStrategy strategy);
+    std::vector<Stage> run(PipelineContext &ctx,
+                           std::vector<Stage> stages) const;
+
+  private:
+    std::unique_ptr<const StageOrderMethod> method_;
+};
+
+/**
+ * Plans and applies one continuous layout transition per stage. Owns
+ * the ContinuousRouter (and through it the scratch buffers); randomized
+ * decisions draw from ctx.rng.
+ */
+class RoutingPass
+{
+  public:
+    explicit RoutingPass(PipelineContext &ctx);
+    TransitionPlan run(PipelineContext &ctx, const Stage &stage);
+
+  private:
+    ContinuousRouter router_;
+};
+
+/** Groups a transition's moves into Coll-Moves and orders them. */
+class CollMoveOrderPass
+{
+  public:
+    explicit CollMoveOrderPass(CollMoveOrderStrategy strategy);
+    std::vector<CollMove> run(PipelineContext &ctx,
+                              std::vector<QubitMove> moves) const;
+
+  private:
+    std::unique_ptr<const CollMoveOrderMethod> method_;
+};
+
+/** Splits ordered Coll-Moves into parallel multi-AOD batches. */
+class AodBatchPass
+{
+  public:
+    std::vector<AodBatch> run(PipelineContext &ctx,
+                              std::vector<CollMove> groups) const;
+};
+
+// ------------------------------------------------------------------- driver
+
+/** The pass-pipeline compiler core. */
+class Pipeline
+{
+  public:
+    /**
+     * @param machine target machine; must outlive the pipeline and every
+     *                CompileResult it produces
+     * @param options pipeline configuration (num_aods must be positive)
+     */
+    Pipeline(const Machine &machine, CompilerOptions options);
+
+    /** Runs every pass over @p circuit and evaluates the result. */
+    CompileResult run(const Circuit &circuit) const;
+
+    const CompilerOptions &options() const { return options_; }
+
+  private:
+    const Machine &machine_;
+    CompilerOptions options_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMPILER_PIPELINE_HPP

@@ -1,95 +1,16 @@
 #include "compiler/powermove.hpp"
 
-#include <chrono>
-
-#include "arch/layout.hpp"
-#include "collsched/intra_stage.hpp"
-#include "collsched/multi_aod.hpp"
-#include "common/error.hpp"
-#include "fidelity/evaluator.hpp"
-#include "route/grouping.hpp"
-#include "route/router.hpp"
-#include "schedule/stage_order.hpp"
-#include "schedule/stage_partition.hpp"
-
 namespace powermove {
 
 PowerMoveCompiler::PowerMoveCompiler(const Machine &machine,
                                      CompilerOptions options)
-    : machine_(machine), options_(options)
-{
-    if (options_.num_aods == 0)
-        fatal("compiler requires at least one AOD array");
-}
+    : machine_(machine), pipeline_(machine, options)
+{}
 
 CompileResult
 PowerMoveCompiler::compile(const Circuit &circuit) const
 {
-    const auto start = std::chrono::steady_clock::now();
-
-    // The initial layout sits entirely in storage (Sec. 4.2) so that no
-    // qubit is exposed to the first excitations; without a storage zone
-    // everything starts in the compute zone instead.
-    Layout layout(machine_, circuit.numQubits());
-    placeRowMajor(layout,
-                  options_.use_storage ? ZoneKind::Storage : ZoneKind::Compute);
-
-    std::vector<SiteId> initial_sites(circuit.numQubits());
-    for (QubitId q = 0; q < circuit.numQubits(); ++q)
-        initial_sites[q] = layout.siteOf(q);
-
-    MachineSchedule schedule(machine_, std::move(initial_sites));
-    ContinuousRouter router(machine_,
-                            {options_.use_storage, options_.seed});
-    const StageOrderOptions order_options{options_.stage_order_alpha};
-
-    std::size_t num_stages = 0;
-    std::size_t num_coll_moves = 0;
-    std::size_t block_index = 0;
-
-    for (const auto &moment : circuit.moments()) {
-        if (const auto *one_q = std::get_if<OneQLayer>(&moment)) {
-            schedule.addOneQLayer(one_q->gates.size(),
-                                  one_q->depth(circuit.numQubits()));
-            continue;
-        }
-        const auto &block = std::get<CzBlock>(moment);
-
-        // Stage Scheduler: partition, then zone-aware ordering.
-        auto stages = partitionIntoStages(block, circuit.numQubits());
-        if (options_.reorder_stages)
-            stages = orderStages(std::move(stages), order_options);
-
-        for (const auto &stage : stages) {
-            // Continuous Router: direct transition into the stage layout.
-            const TransitionPlan plan =
-                router.planStageTransition(layout, stage);
-
-            // Coll-Move grouping, storage-dwell ordering, AOD batching.
-            auto groups = groupMoves(machine_, plan.moves);
-            if (options_.order_coll_moves)
-                groups = orderCollMoves(machine_, std::move(groups));
-            num_coll_moves += groups.size();
-            for (auto &batch :
-                 batchForAods(machine_, std::move(groups), options_.num_aods,
-                              options_.aod_batch_policy)) {
-                schedule.addMoveBatch(std::move(batch));
-            }
-
-            schedule.addRydberg(stage.gates, block_index);
-            ++num_stages;
-        }
-        ++block_index;
-    }
-
-    const auto stop = std::chrono::steady_clock::now();
-    const double elapsed_us =
-        std::chrono::duration<double, std::micro>(stop - start).count();
-
-    CompileResult result{std::move(schedule), {}, Duration::micros(elapsed_us),
-                         num_stages, num_coll_moves};
-    result.metrics = evaluateSchedule(result.schedule);
-    return result;
+    return pipeline_.run(circuit);
 }
 
 } // namespace powermove

@@ -1,20 +1,21 @@
 /**
  * @file
- * The PowerMove compiler (paper Fig. 1b).
+ * The PowerMove compiler (paper Fig. 1b) — a thin facade over the pass
+ * pipeline in compiler/pipeline.hpp:
  *
- * Pipeline per commutable CZ block:
- *
- *   Stage Scheduler  (Sec. 4): edge-coloring stage partition, then
- *                    zone-aware stage ordering;
- *   Continuous Router(Sec. 5): direct layout-to-layout transitions —
- *                    single-qubit movement decisions and distance-aware
- *                    Coll-Move grouping;
- *   Coll-Move Scheduler (Sec. 6): storage-dwell-maximizing intra-stage
- *                    order and multi-AOD parallel batching.
+ *   PlacementPass      initial layout (strategy-selected);
+ *   StagePartitionPass edge-coloring stage partition (Sec. 4.1);
+ *   StageOrderPass     zone-aware stage ordering (Sec. 4.2);
+ *   RoutingPass        direct layout-to-layout transitions (Sec. 5);
+ *   CollMoveOrderPass  distance-aware grouping + storage-dwell order
+ *                      (Sec. 5.3 / 6.1);
+ *   AodBatchPass       multi-AOD parallel batching (Sec. 6.2).
  *
  * The initial layout sits entirely in the storage zone (compute zone in
  * the storage-free configuration) and is never returned to: layouts flow
- * forward continuously.
+ * forward continuously. Strategies are selected through CompilerOptions;
+ * every compile records per-pass profiles into CompileResult unless
+ * profiling is disabled.
  */
 
 #ifndef POWERMOVE_COMPILER_POWERMOVE_HPP
@@ -23,6 +24,7 @@
 #include "arch/machine.hpp"
 #include "circuit/circuit.hpp"
 #include "compiler/options.hpp"
+#include "compiler/pipeline.hpp"
 #include "compiler/result.hpp"
 
 namespace powermove {
@@ -34,7 +36,8 @@ class PowerMoveCompiler
     /**
      * @param machine target machine; must outlive the compiler and every
      *                CompileResult it produces
-     * @param options pipeline configuration
+     * @param options pipeline configuration; validated here (e.g. a zero
+     *                AOD count throws ConfigError at construction)
      */
     explicit PowerMoveCompiler(const Machine &machine,
                                CompilerOptions options = {});
@@ -45,12 +48,12 @@ class PowerMoveCompiler
      */
     CompileResult compile(const Circuit &circuit) const;
 
-    const CompilerOptions &options() const { return options_; }
+    const CompilerOptions &options() const { return pipeline_.options(); }
     const Machine &machine() const { return machine_; }
 
   private:
     const Machine &machine_;
-    CompilerOptions options_;
+    Pipeline pipeline_;
 };
 
 } // namespace powermove

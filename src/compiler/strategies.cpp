@@ -1,0 +1,108 @@
+#include "compiler/strategies.hpp"
+
+namespace powermove {
+
+std::string_view
+placementStrategyName(PlacementStrategy strategy)
+{
+    switch (strategy) {
+    case PlacementStrategy::RowMajor:
+        return "row-major";
+    case PlacementStrategy::ColumnInterleaved:
+        return "column-interleaved";
+    case PlacementStrategy::UsageFrequency:
+        return "usage-frequency";
+    }
+    return "unknown";
+}
+
+std::string_view
+stageOrderStrategyName(StageOrderStrategy strategy)
+{
+    switch (strategy) {
+    case StageOrderStrategy::AsPartitioned:
+        return "as-partitioned";
+    case StageOrderStrategy::ZoneAware:
+        return "zone-aware";
+    }
+    return "unknown";
+}
+
+std::string_view
+collMoveOrderStrategyName(CollMoveOrderStrategy strategy)
+{
+    switch (strategy) {
+    case CollMoveOrderStrategy::AsGrouped:
+        return "as-grouped";
+    case CollMoveOrderStrategy::StorageDwell:
+        return "storage-dwell";
+    }
+    return "unknown";
+}
+
+std::string_view
+aodBatchPolicyName(AodBatchPolicy policy)
+{
+    switch (policy) {
+    case AodBatchPolicy::InOrder:
+        return "in-order";
+    case AodBatchPolicy::DurationBalanced:
+        return "duration-balanced";
+    }
+    return "unknown";
+}
+
+bool
+parsePlacementStrategy(std::string_view text, PlacementStrategy &out)
+{
+    for (const auto strategy :
+         {PlacementStrategy::RowMajor, PlacementStrategy::ColumnInterleaved,
+          PlacementStrategy::UsageFrequency}) {
+        if (text == placementStrategyName(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseStageOrderStrategy(std::string_view text, StageOrderStrategy &out)
+{
+    for (const auto strategy :
+         {StageOrderStrategy::AsPartitioned, StageOrderStrategy::ZoneAware}) {
+        if (text == stageOrderStrategyName(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseCollMoveOrderStrategy(std::string_view text, CollMoveOrderStrategy &out)
+{
+    for (const auto strategy : {CollMoveOrderStrategy::AsGrouped,
+                                CollMoveOrderStrategy::StorageDwell}) {
+        if (text == collMoveOrderStrategyName(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseAodBatchPolicy(std::string_view text, AodBatchPolicy &out)
+{
+    for (const auto policy :
+         {AodBatchPolicy::InOrder, AodBatchPolicy::DurationBalanced}) {
+        if (text == aodBatchPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace powermove

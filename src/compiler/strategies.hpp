@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Strategy selections for the pass pipeline.
+ *
+ * Each pipeline pass that admits more than one algorithm exposes its
+ * choice as a small enum here, selected through CompilerOptions. The
+ * paper's Fig. 1b flow is the default in every dimension; alternatives
+ * either reproduce an ablation (the "as-is" orderings) or open a new
+ * scenario (placement variants). Every enum participates in the job
+ * fingerprint (service/fingerprint.cpp), so two option sets differing
+ * in any strategy can never share a cache entry.
+ */
+
+#ifndef POWERMOVE_COMPILER_STRATEGIES_HPP
+#define POWERMOVE_COMPILER_STRATEGIES_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "collsched/multi_aod.hpp"
+
+namespace powermove {
+
+/** How the initial layout places qubits into their starting zone. */
+enum class PlacementStrategy : std::uint8_t
+{
+    /** The paper's initial layout: row-major from the zone's top left. */
+    RowMajor,
+    /**
+     * The transpose of RowMajor: the zone fills column by column, so
+     * consecutive qubits — which circuit generators tend to couple —
+     * share a column and their storage traffic runs vertically along
+     * that column.
+     */
+    ColumnInterleaved,
+    /**
+     * Usage-frequency-aware: qubits are ranked by their CZ-gate count
+     * and the busiest qubits take the row-major sites closest to the
+     * compute zone, shortening the shuttle distance of the atoms that
+     * cross the inter-zone gap most often.
+     */
+    UsageFrequency,
+};
+
+/** How stages of one commutable CZ block are ordered. */
+enum class StageOrderStrategy : std::uint8_t
+{
+    /** Keep the raw edge-coloring order (ablation baseline). */
+    AsPartitioned,
+    /** The paper's Sec. 4.2 zone-aware greedy ordering. */
+    ZoneAware,
+};
+
+/** How Coll-Moves of one stage transition are ordered. */
+enum class CollMoveOrderStrategy : std::uint8_t
+{
+    /** Keep the distance-grouping emission order (ablation baseline). */
+    AsGrouped,
+    /** The paper's Sec. 6.1 storage-dwell-maximizing order. */
+    StorageDwell,
+};
+
+/** Short stable name, e.g. "row-major"; used by reports and the CLI. */
+std::string_view placementStrategyName(PlacementStrategy strategy);
+std::string_view stageOrderStrategyName(StageOrderStrategy strategy);
+std::string_view collMoveOrderStrategyName(CollMoveOrderStrategy strategy);
+std::string_view aodBatchPolicyName(AodBatchPolicy policy);
+
+/**
+ * Parses a strategy name as printed by the matching *Name() function.
+ * Returns false (leaving @p out untouched) on an unknown name.
+ */
+bool parsePlacementStrategy(std::string_view text, PlacementStrategy &out);
+bool parseStageOrderStrategy(std::string_view text, StageOrderStrategy &out);
+bool parseCollMoveOrderStrategy(std::string_view text,
+                                CollMoveOrderStrategy &out);
+bool parseAodBatchPolicy(std::string_view text, AodBatchPolicy &out);
+
+} // namespace powermove
+
+#endif // POWERMOVE_COMPILER_STRATEGIES_HPP

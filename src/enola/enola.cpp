@@ -118,8 +118,9 @@ EnolaCompiler::compile(const Circuit &circuit) const
     const double elapsed_us =
         std::chrono::duration<double, std::micro>(stop - start).count();
 
+    // No pass_profiles: the baseline is not the pass pipeline.
     CompileResult result{std::move(schedule), {}, Duration::micros(elapsed_us),
-                         num_stages, num_coll_moves};
+                         num_stages, num_coll_moves, {}};
     result.metrics = evaluateSchedule(result.schedule);
     return result;
 }

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "report/table.hpp"
 
 namespace powermove {
 
@@ -62,6 +63,34 @@ RatioSummary::toString() const
        << formatRatio(arithmeticMean()) << ") over " << ratios_.size()
        << " benchmarks";
     return os.str();
+}
+
+std::string
+formatPassProfiles(const std::vector<PassProfile> &profiles)
+{
+    if (profiles.empty())
+        return "(no pass profiles)\n";
+
+    double total_micros = 0.0;
+    for (const PassProfile &profile : profiles)
+        total_micros += profile.wall_time.micros();
+
+    TextTable table({"Pass", "Calls", "Time (us)", "Share", "Counters"});
+    for (const PassProfile &profile : profiles) {
+        const double micros = profile.wall_time.micros();
+        const double share = total_micros > 0.0 ? micros / total_micros : 0.0;
+        std::vector<std::string> counters;
+        counters.reserve(profile.counters.size());
+        for (const PassCounter &counter : profile.counters)
+            counters.push_back(counter.name + "=" +
+                               std::to_string(counter.value));
+        table.addRow({std::string(passName(profile.pass)),
+                      std::to_string(profile.invocations),
+                      formatGeneral(micros, 4),
+                      formatGeneral(share * 100.0, 3) + "%",
+                      counters.empty() ? "-" : join(counters, " ")});
+    }
+    return table.toString();
 }
 
 } // namespace powermove

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "compiler/profile.hpp"
+
 namespace powermove {
 
 /** Accumulates ratios and reports range and central tendency. */
@@ -42,6 +44,15 @@ class RatioSummary
   private:
     std::vector<double> ratios_;
 };
+
+/**
+ * Renders per-pass profiles as an aligned table: pass name, invocation
+ * count, wall time, share of the summed pass time, and the pass's
+ * counters. Used by `powermove --profile`, the service stats dump, and
+ * bench/micro_passes. Returns "(no pass profiles)" when @p profiles is
+ * empty (profiling disabled or a non-pipeline compiler).
+ */
+std::string formatPassProfiles(const std::vector<PassProfile> &profiles);
 
 } // namespace powermove
 

@@ -8,7 +8,13 @@
 namespace powermove {
 
 ContinuousRouter::ContinuousRouter(const Machine &machine, RouterOptions options)
-    : machine_(machine), options_(options), rng_(options.seed)
+    : machine_(machine), options_(options), own_rng_(options.seed),
+      rng_(&own_rng_)
+{}
+
+ContinuousRouter::ContinuousRouter(const Machine &machine,
+                                   RouterOptions options, Rng &rng)
+    : machine_(machine), options_(options), own_rng_(options.seed), rng_(&rng)
 {}
 
 SiteId
@@ -239,7 +245,7 @@ ContinuousRouter::planStageTransition(Layout &layout, const Stage &stage)
                 statics_at[si] += 2;
                 continue;
             }
-            const bool pick_first = rng_.nextBool(0.5);
+            const bool pick_first = rng_->nextBool(0.5);
             const QubitId mover = pick_first ? qi : qj;
             const QubitId stay = pick_first ? qj : qi;
             set_label(mover, MoveLabel::Mobile);

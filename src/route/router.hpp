@@ -66,6 +66,15 @@ class ContinuousRouter
     ContinuousRouter(const Machine &machine, RouterOptions options = {});
 
     /**
+     * Uses @p rng for the randomized mobile/static choice instead of an
+     * internally seeded stream (options.seed is then ignored). The
+     * pipeline threads its PipelineContext RNG through here so every
+     * randomized decision of a compilation draws from one stream.
+     * @p rng must outlive the router.
+     */
+    ContinuousRouter(const Machine &machine, RouterOptions options, Rng &rng);
+
+    /**
      * Plans the transition bringing @p layout into a configuration that
      * executes @p stage, and applies it to @p layout.
      *
@@ -94,7 +103,8 @@ class ContinuousRouter
 
     const Machine &machine_;
     RouterOptions options_;
-    Rng rng_;
+    Rng own_rng_;  // used unless an external stream was supplied
+    Rng *rng_;     // &own_rng_ or the caller's stream
 
     // Scratch buffers reused across transitions to keep the planning
     // pass allocation-free (the compile-time story of Sec. 7.2 depends

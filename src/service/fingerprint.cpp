@@ -79,6 +79,16 @@ fingerprintMachineConfig(const MachineConfig &config)
     return hash.digest();
 }
 
+// Completeness guard: every CompilerOptions field must be hashed below,
+// or two different configurations could silently share a cache entry.
+// A new field changes the struct's size on LP64 platforms, tripping this
+// assertion until both the hash and the expected size are updated (the
+// structured-binding probe in fingerprint_test.cpp guards field *count*
+// even when padding absorbs the addition).
+static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 40,
+              "CompilerOptions changed: extend fingerprintOptions() with the "
+              "new field, then update this expected size");
+
 std::uint64_t
 fingerprintOptions(const CompilerOptions &options)
 {
@@ -88,9 +98,16 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(static_cast<std::uint64_t>(options.num_aods));
     hash.add(options.stage_order_alpha);
     hash.add(options.seed);
-    hash.add(options.reorder_stages);
-    hash.add(options.order_coll_moves);
+    hash.add(static_cast<std::uint64_t>(options.placement));
+    hash.add(static_cast<std::uint64_t>(options.stage_order));
+    hash.add(static_cast<std::uint64_t>(options.coll_move_order));
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));
+    // profile_passes never changes the emitted schedule, but it changes
+    // the CompileResult payload (pass_profiles present or empty), so it
+    // is addressed too: a spurious miss beats handing a caller a cached
+    // result whose profiles do not match their request. Seed derivation
+    // must NOT see this field — see seedFingerprintJob().
+    hash.add(options.profile_passes);
     return hash.digest();
 }
 
@@ -104,6 +121,15 @@ fingerprintJob(const Circuit &circuit, const MachineConfig &config,
     hash.add(fingerprintMachineConfig(config));
     hash.add(fingerprintOptions(options));
     return hash.digest();
+}
+
+std::uint64_t
+seedFingerprintJob(const Circuit &circuit, const MachineConfig &config,
+                   const CompilerOptions &options)
+{
+    CompilerOptions canonical = options;
+    canonical.profile_passes = CompilerOptions{}.profile_passes;
+    return fingerprintJob(circuit, config, canonical);
 }
 
 std::uint64_t

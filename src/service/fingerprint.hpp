@@ -117,6 +117,20 @@ std::uint64_t fingerprintJob(const Circuit &circuit,
                              const CompilerOptions &options);
 
 /**
+ * The job fingerprint used for seed derivation: fingerprintJob() with
+ * CompilerOptions::profile_passes normalized to its default.
+ *
+ * profile_passes participates in the cache address (a profiled and an
+ * unprofiled run carry different result payloads) but must not reach
+ * the derived seed: profiling never changes the schedule a compilation
+ * emits, so a job profiled once for analysis and re-run unprofiled in
+ * production has to draw the same randomized-decision stream.
+ */
+std::uint64_t seedFingerprintJob(const Circuit &circuit,
+                                 const MachineConfig &config,
+                                 const CompilerOptions &options);
+
+/**
  * Derives the RNG seed a batched job actually compiles with.
  *
  * Rule (see CompilerOptions::seed): a job's randomized decisions must

@@ -16,7 +16,9 @@ CompilerOptions
 effectiveOptions(const CompileJob &job)
 {
     CompilerOptions options = job.options;
-    options.seed = deriveJobSeed(options.seed, jobFingerprint(job));
+    options.seed = deriveJobSeed(
+        options.seed,
+        seedFingerprintJob(job.circuit, job.machine, job.options));
     return options;
 }
 
@@ -132,6 +134,7 @@ CompilationService::stats() const
     stats.coalesced = coalesced_;
     stats.machines_built = machines_built_;
     stats.num_workers = workers_.size();
+    stats.pass_totals = pass_totals_;
     return stats;
 }
 
@@ -196,10 +199,17 @@ CompilationService::workerLoop()
         try {
             machine = internMachine(entry.job.machine, lock);
             CompilerOptions options = entry.job.options;
-            if (options_.derive_job_seeds)
-                options.seed = deriveJobSeed(options.seed, fingerprint);
             const Circuit &circuit = entry.job.circuit;
             lock.unlock();
+            // Seeds derive from the profile-normalized fingerprint (not
+            // the cache key) so that toggling profiling can never alter
+            // a job's schedule; hashed outside the lock since it walks
+            // the whole circuit.
+            if (options_.derive_job_seeds)
+                options.seed = deriveJobSeed(
+                    options.seed, seedFingerprintJob(circuit,
+                                                     entry.job.machine,
+                                                     options));
             const PowerMoveCompiler compiler(*machine, options);
             result = std::make_shared<const CompileResult>(
                 compiler.compile(circuit));
@@ -213,6 +223,7 @@ CompilationService::workerLoop()
         if (result) {
             cache_.insert(fingerprint, {result, machine});
             ++jobs_completed_;
+            mergePassProfiles(pass_totals_, result->pass_profiles);
         } else {
             ++jobs_failed_;
         }

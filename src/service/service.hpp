@@ -21,8 +21,10 @@
  *    afterwards.
  *
  * Determinism: each job compiles with a seed derived from (base seed,
- * job fingerprint) — see deriveJobSeed() — so results are reproducible
- * regardless of worker count or queue interleaving. effectiveOptions()
+ * profile-normalized job fingerprint) — see deriveJobSeed() and
+ * seedFingerprintJob() — so results are reproducible regardless of
+ * worker count or queue interleaving, and toggling pass profiling
+ * never changes a job's schedule. effectiveOptions()
  * exposes the exact options a job runs with, letting callers replay any
  * batched compilation single-threadedly.
  *
@@ -127,6 +129,12 @@ struct ServiceStats
     std::size_t machines_built = 0;
     /** Pool size. */
     std::size_t num_workers = 0;
+    /**
+     * Per-pass profiles aggregated over every job compiled on a worker
+     * (cache hits re-run nothing and add nothing), in pipeline order.
+     * Empty until a profiled job completes.
+     */
+    std::vector<PassProfile> pass_totals;
 };
 
 /** Thread-pooled, cache-fronted batch compiler. */
@@ -201,6 +209,7 @@ class CompilationService
     std::size_t jobs_completed_ = 0;
     std::size_t jobs_failed_ = 0;
     std::size_t coalesced_ = 0;
+    std::vector<PassProfile> pass_totals_;
 
     std::vector<std::thread> workers_;
 };

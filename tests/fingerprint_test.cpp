@@ -124,6 +124,51 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     CompilerOptions policy = base;
     policy.aod_batch_policy = AodBatchPolicy::DurationBalanced;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(policy));
+
+    CompilerOptions alpha = base;
+    alpha.stage_order_alpha = 0.25;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(alpha));
+
+    CompilerOptions placement = base;
+    placement.placement = PlacementStrategy::ColumnInterleaved;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(placement));
+
+    CompilerOptions stage_order = base;
+    stage_order.stage_order = StageOrderStrategy::AsPartitioned;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(stage_order));
+
+    CompilerOptions cm_order = base;
+    cm_order.coll_move_order = CollMoveOrderStrategy::AsGrouped;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(cm_order));
+
+    CompilerOptions profiling = base;
+    profiling.profile_passes = false;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(profiling));
+}
+
+/**
+ * Completeness guard (with the sizeof static_assert in fingerprint.cpp):
+ * the structured binding below names every CompilerOptions field, so
+ * adding a field breaks this test at compile time until both this probe
+ * and fingerprintOptions() are extended. The strategy enums above each
+ * get a distinctness check; a field that compiles but is not hashed
+ * would poison the service cache silently.
+ */
+TEST(FingerprintTest, OptionFieldCountProbe)
+{
+    const CompilerOptions options;
+    const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
+                 stage_order, coll_move_order, aod_batch_policy,
+                 profile_passes] = options;
+    EXPECT_EQ(use_storage, options.use_storage);
+    EXPECT_EQ(num_aods, options.num_aods);
+    EXPECT_EQ(stage_order_alpha, options.stage_order_alpha);
+    EXPECT_EQ(seed, options.seed);
+    EXPECT_EQ(placement, options.placement);
+    EXPECT_EQ(stage_order, options.stage_order);
+    EXPECT_EQ(coll_move_order, options.coll_move_order);
+    EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);
+    EXPECT_EQ(profile_passes, options.profile_passes);
 }
 
 TEST(FingerprintTest, JobFingerprintCombinesAllThreeParts)

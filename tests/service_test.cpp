@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "compiler/powermove.hpp"
+#include "isa/json.hpp"
 #include "isa/validator.hpp"
 #include "service/fingerprint.hpp"
 #include "service/service.hpp"
@@ -45,6 +46,23 @@ expectIdenticalMetrics(const CompileResult &a, const CompileResult &b)
     EXPECT_DOUBLE_EQ(a.metrics.fidelity(), b.metrics.fidelity());
     EXPECT_DOUBLE_EQ(a.metrics.exec_time.micros(), b.metrics.exec_time.micros());
     EXPECT_DOUBLE_EQ(a.metrics.total_idle.micros(), b.metrics.total_idle.micros());
+
+    // Pass profiles: wall times are measurement noise, but invocation
+    // counts and every counter must be deterministic.
+    ASSERT_EQ(a.pass_profiles.size(), b.pass_profiles.size());
+    for (std::size_t i = 0; i < a.pass_profiles.size(); ++i) {
+        EXPECT_EQ(a.pass_profiles[i].pass, b.pass_profiles[i].pass);
+        EXPECT_EQ(a.pass_profiles[i].invocations,
+                  b.pass_profiles[i].invocations);
+        ASSERT_EQ(a.pass_profiles[i].counters.size(),
+                  b.pass_profiles[i].counters.size());
+        for (std::size_t c = 0; c < a.pass_profiles[i].counters.size(); ++c) {
+            EXPECT_EQ(a.pass_profiles[i].counters[c].name,
+                      b.pass_profiles[i].counters[c].name);
+            EXPECT_EQ(a.pass_profiles[i].counters[c].value,
+                      b.pass_profiles[i].counters[c].value);
+        }
+    }
 }
 
 TEST(ServiceTest, SubmitMatchesDirectCompileWithEffectiveOptions)
@@ -289,6 +307,58 @@ TEST(ServiceTest, FullSuiteSerialVsEightWorkersBitIdentical)
                                *parallel_out[i].result.result);
     }
     EXPECT_EQ(parallel.stats().jobs_completed, 23u);
+}
+
+/**
+ * Profiling is schedule-neutral through the service too: the derived
+ * seed comes from the profile-normalized fingerprint, so toggling
+ * profile_passes changes the cache entry (different payload) but never
+ * the emitted schedule.
+ */
+TEST(ServiceTest, ProfileTogglingNeverChangesTheSchedule)
+{
+    CompilationService svc({2, 16});
+
+    const CompileJob profiled = smallJob();
+    CompileJob unprofiled = smallJob();
+    unprofiled.options.profile_passes = false;
+
+    const JobResult on = svc.submit(profiled).get();
+    const JobResult off = svc.submit(unprofiled).get();
+
+    // Distinct cache entries (no conflated payloads)...
+    EXPECT_NE(on.fingerprint, off.fingerprint);
+    EXPECT_FALSE(off.from_cache);
+    EXPECT_FALSE(on.result->pass_profiles.empty());
+    EXPECT_TRUE(off.result->pass_profiles.empty());
+
+    // ...but bit-identical schedules and effective seeds.
+    EXPECT_EQ(scheduleToJson(on.result->schedule),
+              scheduleToJson(off.result->schedule));
+    EXPECT_DOUBLE_EQ(on.result->metrics.fidelity(),
+                     off.result->metrics.fidelity());
+    EXPECT_EQ(effectiveOptions(profiled).seed,
+              effectiveOptions(unprofiled).seed);
+}
+
+/** Pass totals aggregate over worker-compiled jobs, not cache hits. */
+TEST(ServiceTest, PassTotalsAggregateAcrossJobs)
+{
+    CompilationService svc({2, 16});
+    EXPECT_TRUE(svc.stats().pass_totals.empty());
+
+    (void)svc.submit(smallJob(1)).get();
+    const auto after_one = svc.stats().pass_totals;
+    ASSERT_FALSE(after_one.empty());
+    EXPECT_EQ(after_one.front().pass, PassId::Placement);
+    EXPECT_EQ(after_one.front().invocations, 1u);
+
+    (void)svc.submit(smallJob(1)).get(); // cache hit: totals unchanged
+    ASSERT_EQ(svc.stats().pass_totals.size(), after_one.size());
+    EXPECT_EQ(svc.stats().pass_totals.front().invocations, 1u);
+
+    (void)svc.submit(smallJob(2)).get(); // fresh compile: placement again
+    EXPECT_EQ(svc.stats().pass_totals.front().invocations, 2u);
 }
 
 /** Stress: the whole suite submitted concurrently from many threads. */

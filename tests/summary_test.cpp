@@ -72,5 +72,31 @@ TEST(RatioSummaryTest, ToStringMentionsAllStatistics)
     EXPECT_NE(text.find("2 benchmarks"), std::string::npos);
 }
 
+TEST(PassProfileFormatTest, EmptyProfilesSayNoData)
+{
+    EXPECT_EQ(formatPassProfiles({}), "(no pass profiles)\n");
+}
+
+TEST(PassProfileFormatTest, TableListsPassesSharesAndCounters)
+{
+    PassProfile placement;
+    placement.pass = PassId::Placement;
+    placement.wall_time = Duration::micros(1.0);
+    placement.invocations = 1;
+    placement.counters = {{"qubits_placed", 30}};
+
+    PassProfile routing;
+    routing.pass = PassId::Routing;
+    routing.wall_time = Duration::micros(3.0);
+    routing.invocations = 5;
+
+    const auto text = formatPassProfiles({placement, routing});
+    EXPECT_NE(text.find("placement"), std::string::npos);
+    EXPECT_NE(text.find("routing"), std::string::npos);
+    EXPECT_NE(text.find("qubits_placed=30"), std::string::npos);
+    EXPECT_NE(text.find("75%"), std::string::npos); // routing share of 4 us
+    EXPECT_NE(text.find("25%"), std::string::npos);
+}
+
 } // namespace
 } // namespace powermove

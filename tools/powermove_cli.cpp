@@ -16,10 +16,17 @@
  *   --num-aods N   independent AOD arrays per compilation (default 1)
  *   --no-storage   storage-free configuration (all qubits in compute)
  *   --seed S       base RNG seed (per-job streams are derived from it)
+ *   --alpha A      stage-ordering weight alpha in (0, 1] (default 0.5)
+ *   --placement P  initial-layout strategy: row-major (default),
+ *                  column-interleaved, or usage-frequency
+ *   --batch-policy P  AOD batching: in-order (default, the paper's
+ *                  chunking) or duration-balanced
+ *   --profile      print the per-pass time/counter breakdown per input
  *   --fuse         fuse commutable CZ blocks before compiling
  *   --out-dir DIR  directory for ISA JSON (default: next to each input)
  *   --no-json      skip ISA JSON emission
- *   --stats        print service counters before exiting
+ *   --stats        print service counters (and, with --profile, the
+ *                  service-wide per-pass totals) before exiting
  *   --help         this text
  *
  * Exit status: 0 if every input compiled, 1 otherwise.
@@ -36,9 +43,11 @@
 
 #include "circuit/fuse.hpp"
 #include "common/error.hpp"
+#include "compiler/strategies.hpp"
 #include "isa/json.hpp"
 #include "isa/validator.hpp"
 #include "qasm/converter.hpp"
+#include "report/summary.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -53,6 +62,7 @@ struct CliOptions
     bool fuse = false;
     bool emit_json = true;
     bool print_stats = false;
+    bool print_profile = false;
     std::string out_dir;
 };
 
@@ -72,6 +82,13 @@ printUsage(std::FILE *stream)
         "  --num-aods N   independent AOD arrays (default 1)\n"
         "  --no-storage   storage-free configuration\n"
         "  --seed S       base RNG seed (default 0xC0FFEE)\n"
+        "  --alpha A      stage-ordering weight in (0, 1] (default 0.5)\n"
+        "  --placement P  initial layout: row-major (default),\n"
+        "                 column-interleaved, or usage-frequency\n"
+        "  --batch-policy P\n"
+        "                 AOD batching: in-order (default) or\n"
+        "                 duration-balanced\n"
+        "  --profile      print the per-pass time/counter breakdown\n"
         "  --fuse         fuse commutable CZ blocks before compiling\n"
         "  --out-dir DIR  directory for ISA JSON output\n"
         "  --no-json      skip ISA JSON emission\n"
@@ -121,6 +138,52 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!numeric("--seed", i, value))
                 return false;
             cli.compiler.seed = value;
+        } else if (std::strcmp(arg, "--alpha") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "powermove: --alpha requires a value\n");
+                return false;
+            }
+            const char *text = argv[++i];
+            char *end = nullptr;
+            const double alpha = std::strtod(text, &end);
+            if (end == text || *end != '\0' || !(alpha > 0.0) || alpha > 1.0) {
+                std::fprintf(stderr,
+                             "powermove: --alpha must be in (0, 1], got "
+                             "'%s'\n",
+                             text);
+                return false;
+            }
+            cli.compiler.stage_order_alpha = alpha;
+        } else if (std::strcmp(arg, "--placement") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "powermove: --placement requires a value\n");
+                return false;
+            }
+            if (!parsePlacementStrategy(argv[++i], cli.compiler.placement)) {
+                std::fprintf(stderr,
+                             "powermove: unknown placement '%s' (expected "
+                             "row-major, column-interleaved, or "
+                             "usage-frequency)\n",
+                             argv[i]);
+                return false;
+            }
+        } else if (std::strcmp(arg, "--batch-policy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "powermove: --batch-policy requires a value\n");
+                return false;
+            }
+            if (!parseAodBatchPolicy(argv[++i],
+                                     cli.compiler.aod_batch_policy)) {
+                std::fprintf(stderr,
+                             "powermove: unknown batch policy '%s' (expected "
+                             "in-order or duration-balanced)\n",
+                             argv[i]);
+                return false;
+            }
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            cli.print_profile = true;
         } else if (std::strcmp(arg, "--no-storage") == 0) {
             cli.compiler.use_storage = false;
         } else if (std::strcmp(arg, "--fuse") == 0) {
@@ -239,6 +302,9 @@ main(int argc, char **argv)
             std::printf("  metrics: %s\n", result.metrics.toString().c_str());
             std::printf("  compile time: %.1f us\n",
                         result.compile_time.micros());
+            if (cli.print_profile)
+                std::printf("%s", formatPassProfiles(result.pass_profiles)
+                                      .c_str());
 
             if (cli.emit_json) {
                 const auto json_path = jsonPathFor(flight.input, cli.out_dir);
@@ -269,6 +335,10 @@ main(int argc, char **argv)
                     stats.cache_misses, stats.cache_evictions,
                     stats.cache_entries, stats.coalesced,
                     stats.machines_built);
+        if (cli.print_profile) {
+            std::printf("service pass totals:\n%s",
+                        formatPassProfiles(stats.pass_totals).c_str());
+        }
     }
     return failures == 0 ? 0 : 1;
 }
