@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Routing-strategy comparison: continuous vs reuse-aware (src/reuse/).
+ *
+ * Compiles every Table 2 benchmark — plus depth-2 VQE ansatze, the
+ * canonical multi-block workload where atom reuse pays between
+ * entanglement layers (the Table 2 VQE rows are single-layer chains
+ * whose idle qubits never enter the compute zone, so no routing policy
+ * can save a move there) — under both RoutingStrategy values, validates
+ * every schedule against its source circuit, and prints the per-row and
+ * per-family comparison: planned moves, transfers, qubits held, and the
+ * fidelity ratio.
+ *
+ * `--smoke` compiles one small entry per family (CI mode: fast, but
+ * still validating both strategies and the comparison machinery).
+ * Standalone main (no Google Benchmark dependency); exits nonzero if
+ * any schedule fails hardware validation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/powermove.hpp"
+#include "isa/validator.hpp"
+#include "report/table.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/vqe.hpp"
+
+namespace {
+
+using namespace powermove;
+
+struct Entry
+{
+    std::string name;
+    std::string family;
+    MachineConfig machine_config;
+    Circuit circuit;
+};
+
+std::vector<Entry>
+makeEntries(bool smoke)
+{
+    std::vector<Entry> entries;
+    std::map<std::string, int> seen;
+    for (const BenchmarkSpec &spec : table2Suite()) {
+        if (smoke && seen[spec.family]++ > 0)
+            continue;
+        entries.push_back(
+            {spec.name, spec.family, spec.machine_config, spec.build()});
+    }
+    // Multi-layer VQE: two entanglement layers -> two CZ blocks, so the
+    // chain-end qubits idle in the compute zone between layers.
+    for (const std::size_t n : smoke ? std::vector<std::size_t>{30}
+                                     : std::vector<std::size_t>{30, 50}) {
+        entries.push_back({"VQE-depth2-" + std::to_string(n), "VQE-depth2",
+                           MachineConfig::forQubits(n),
+                           makeVqe(n, 2, VqeEntanglement::Linear, 0xF00D + n)});
+    }
+    return entries;
+}
+
+struct Run
+{
+    std::size_t moves = 0;
+    std::size_t transfers = 0;
+    std::uint64_t held = 0;
+    double fidelity = 0.0;
+    double compile_us = 0.0;
+};
+
+Run
+compileOne(const Machine &machine, const Circuit &circuit,
+           RoutingStrategy routing)
+{
+    CompilerOptions options;
+    options.routing = routing;
+    const auto result = PowerMoveCompiler(machine, options).compile(circuit);
+    validateAgainstCircuit(result.schedule, circuit);
+
+    Run run;
+    run.moves = result.schedule.numQubitMoves();
+    run.transfers = result.schedule.numTransfers();
+    run.fidelity = result.metrics.fidelity();
+    run.compile_us = result.compile_time.micros();
+    for (const PassProfile &profile : result.pass_profiles) {
+        if (profile.pass != PassId::Routing)
+            continue;
+        for (const PassCounter &counter : profile.counters) {
+            if (counter.name == "qubits_held")
+                run.held = counter.value;
+        }
+    }
+    return run;
+}
+
+std::string
+fmt(double value, const char *spec)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), spec, value);
+    return buffer;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    std::printf("=== Routing strategies: continuous vs reuse%s ===\n\n",
+                smoke ? " (smoke subset)" : "");
+
+    TextTable table({"Benchmark", "Moves cont", "Moves reuse", "Moves d%",
+                     "Transfers cont", "Transfers reuse", "Held",
+                     "Fidelity ratio"});
+    std::map<std::string, std::pair<std::size_t, std::size_t>> family_moves;
+    std::size_t total_continuous = 0;
+    std::size_t total_reuse = 0;
+    int failures = 0;
+
+    for (const Entry &entry : makeEntries(smoke)) {
+        const Machine machine(entry.machine_config);
+        try {
+            const Run cont =
+                compileOne(machine, entry.circuit,
+                           RoutingStrategy::Continuous);
+            const Run reuse =
+                compileOne(machine, entry.circuit, RoutingStrategy::Reuse);
+
+            const double delta =
+                cont.moves == 0
+                    ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(reuse.moves) -
+                           static_cast<double>(cont.moves)) /
+                          static_cast<double>(cont.moves);
+            table.addRow({entry.name, std::to_string(cont.moves),
+                          std::to_string(reuse.moves), fmt(delta, "%+.1f"),
+                          std::to_string(cont.transfers),
+                          std::to_string(reuse.transfers),
+                          std::to_string(reuse.held),
+                          fmt(reuse.fidelity / cont.fidelity, "%.4f")});
+            family_moves[entry.family].first += cont.moves;
+            family_moves[entry.family].second += reuse.moves;
+            total_continuous += cont.moves;
+            total_reuse += reuse.moves;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s: FAILED: %s\n", entry.name.c_str(),
+                         e.what());
+            ++failures;
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+
+    std::printf("--- Planned moves by family ---\n");
+    for (const auto &[family, moves] : family_moves) {
+        const auto [cont, reuse] = moves;
+        std::printf("%-16s %6zu -> %6zu  (%+.1f%%)\n", family.c_str(), cont,
+                    reuse,
+                    cont == 0 ? 0.0
+                              : 100.0 *
+                                    (static_cast<double>(reuse) -
+                                     static_cast<double>(cont)) /
+                                    static_cast<double>(cont));
+    }
+    std::printf("\nSuite total: %zu -> %zu planned moves (%+.1f%%)\n",
+                total_continuous, total_reuse,
+                total_continuous == 0
+                    ? 0.0
+                    : 100.0 *
+                          (static_cast<double>(total_reuse) -
+                           static_cast<double>(total_continuous)) /
+                          static_cast<double>(total_continuous));
+
+    if (failures > 0) {
+        std::fprintf(stderr, "%d benchmark(s) failed validation\n", failures);
+        return 1;
+    }
+    return 0;
+}

@@ -51,6 +51,27 @@ BM_RouterStageTransition(benchmark::State &state)
     state.SetComplexityN(state.range(0));
 }
 
+void
+BM_RouterParkingTransition(benchmark::State &state)
+{
+    // Parking-dominated transition: every qubit starts in the compute
+    // zone and only a few interact, so step 1 sends almost all of them
+    // through the storage-slot search (the free-site-index hot path).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Machine machine(MachineConfig::forQubits(n));
+    const Stage stage = randomMatching(n, n / 8, 13);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Layout layout(machine, n);
+        placeRowMajor(layout, ZoneKind::Compute);
+        ContinuousRouter router(machine, {true, 11});
+        state.ResumeTiming();
+        auto plan = router.planStageTransition(layout, stage);
+        benchmark::DoNotOptimize(plan);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
 std::vector<QubitMove>
 randomMoves(const Machine &machine, std::size_t count, std::uint64_t seed)
 {
@@ -108,6 +129,7 @@ BM_ConflictPredicate(benchmark::State &state)
 } // namespace
 
 BENCHMARK(BM_RouterStageTransition)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RouterParkingTransition)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_DistanceAwareGrouping)
     ->RangeMultiplier(4)
     ->Range(16, 256)

@@ -80,6 +80,24 @@ struct CompilerOptions
     AodBatchPolicy aod_batch_policy = AodBatchPolicy::InOrder;
 
     /**
+     * How the RoutingPass plans stage transitions. Continuous is the
+     * paper's Sec. 5 router (every idle qubit parks in storage); Reuse
+     * keeps idle qubits resident in the compute zone when they interact
+     * again within reuse_lookahead stages (src/reuse/). Reuse requires
+     * the storage zone: with use_storage = false the pass falls back to
+     * the continuous router.
+     */
+    RoutingStrategy routing = RoutingStrategy::Continuous;
+
+    /**
+     * Reuse-routing lookahead window, in stages (>= 1): an idle qubit
+     * is held in the compute zone only if its next interaction lies
+     * within this many upcoming stages of the current block. Ignored
+     * by the continuous router.
+     */
+    std::uint32_t reuse_lookahead = 4;
+
+    /**
      * Record per-pass wall times and counters into
      * CompileResult::pass_profiles. Profiling never changes the emitted
      * schedule; disabling only removes the clock reads from the hot loop

@@ -199,19 +199,70 @@ RoutingPass::RoutingPass(PipelineContext &ctx)
     : router_(ctx.machine,
               RouterOptions{ctx.options.use_storage, ctx.options.seed},
               ctx.rng)
-{}
+{
+    // Atom reuse trades storage round trips for compute-zone residency,
+    // which only exists as a trade when there is a storage zone to
+    // round-trip to; storage-free configurations route continuously.
+    if (ctx.options.routing == RoutingStrategy::Reuse &&
+        ctx.options.use_storage) {
+        if (ctx.options.reuse_lookahead == 0)
+            fatal("reuse routing requires a lookahead window >= 1 stage");
+        reuse_router_ = std::make_unique<ReuseAwareRouter>(
+            ctx.machine,
+            ReuseRouterOptions{ctx.options.reuse_lookahead,
+                               ctx.options.seed},
+            ctx.rng);
+    }
+}
+
+void
+RoutingPass::beginBlock(PipelineContext &ctx, const std::vector<Stage> &stages)
+{
+    if (reuse_router_ == nullptr)
+        return;
+    // Deliberately untimed: the O(block gates) lookahead scan is noise
+    // next to the per-stage planning, and opening a profiler scope here
+    // would inflate the routing row's invocation count past the
+    // documented one-per-stage semantics.
+    const bool final_block =
+        ctx.block_index + 1 == ctx.circuit.numBlocks();
+    reuse_router_->beginBlock(stages, ctx.circuit.numQubits(), final_block);
+}
 
 TransitionPlan
 RoutingPass::run(PipelineContext &ctx, const Stage &stage)
 {
     const auto timing = ctx.profiler.time(PassId::Routing);
-    TransitionPlan plan = router_.planStageTransition(ctx.layout, stage);
+    TransitionPlan plan =
+        reuse_router_ != nullptr
+            ? reuse_router_->planStageTransition(ctx.layout, stage)
+            : router_.planStageTransition(ctx.layout, stage);
     ctx.profiler.addCounter(PassId::Routing, "moves_planned",
                             plan.moves.size());
     ctx.profiler.addCounter(PassId::Routing, "qubits_parked",
                             plan.num_parked);
     ctx.profiler.addCounter(PassId::Routing, "qubits_evicted",
                             plan.num_evicted);
+    if (reuse_router_ != nullptr) {
+        // Reuse-only counters stay out of the continuous profile so the
+        // default --profile output is unchanged from PR 2.
+        ctx.profiler.addCounter(PassId::Routing, "qubits_held",
+                                plan.num_held);
+        // A hold that stays put skips its park move outright; a
+        // relocated hold still emits one compute-zone move, so it only
+        // trades the park (it saves the storage round trip's transfers
+        // and the later retrieval, not a move this transition).
+        ctx.profiler.addCounter(PassId::Routing, "moves_saved",
+                                plan.num_held - plan.num_reuse_relocated);
+        ctx.profiler.addCounter(PassId::Routing, "lookahead_hits",
+                                plan.num_reuse_hits);
+        ctx.profiler.addCounter(PassId::Routing, "lookahead_misses",
+                                plan.num_lookahead_misses);
+        ctx.profiler.addCounter(PassId::Routing, "reuse_relocations",
+                                plan.num_reuse_relocated);
+        ctx.profiler.addCounter(PassId::Routing, "holds_denied",
+                                plan.num_hold_denied);
+    }
     return plan;
 }
 
@@ -284,6 +335,10 @@ Pipeline::run(const Circuit &circuit) const
 
         // Stage Scheduler: partition, then strategy-selected ordering.
         auto stages = stage_order.run(ctx, partition.run(ctx, block));
+
+        // The routing strategy sees the whole ordered block up front
+        // (the reuse lookahead scans it; continuous ignores it).
+        routing.beginBlock(ctx, stages);
 
         for (const auto &stage : stages) {
             // Continuous Router: direct transition into the stage layout.

@@ -9,16 +9,18 @@
  *   PlacementPass      initial layout (strategy-selected)        [once]
  *   StagePartitionPass edge-coloring stage partition (Sec. 4.1)  [per block]
  *   StageOrderPass     zone-aware stage ordering (Sec. 4.2)      [per block]
- *   RoutingPass        continuous layout transitions (Sec. 5)    [per stage]
+ *   RoutingPass        layout transitions: continuous (Sec. 5)   [per stage]
+ *                      or reuse-aware (src/reuse/)
  *   CollMoveOrderPass  grouping + storage-dwell order (5.3/6.1)  [per stage]
  *   AodBatchPass       multi-AOD parallel batching (Sec. 6.2)    [per stage]
  *
  * Passes with more than one algorithm delegate to a small strategy
  * interface (PlacementMethod, StageOrderMethod, CollMoveOrderMethod)
- * selected by the CompilerOptions enums, so new strategies from the
- * related literature — reuse-aware routing, routing-aware placement —
- * slot in without forking the driver. Each pass invocation is timed and
- * counted by the context's PassProfiler (see compiler/profile.hpp).
+ * or strategy-selected router, chosen by the CompilerOptions enums, so
+ * new strategies from the related literature — e.g. routing-aware
+ * placement — slot in without forking the driver. Each pass invocation
+ * is timed and counted by the context's PassProfiler (see
+ * compiler/profile.hpp).
  *
  * With default options the pipeline reproduces the pre-pipeline
  * monolithic compiler bit-for-bit (pipeline_test.cpp locks this in
@@ -40,6 +42,7 @@
 #include "compiler/profile.hpp"
 #include "compiler/result.hpp"
 #include "isa/machine_schedule.hpp"
+#include "reuse/router.hpp"
 #include "route/router.hpp"
 #include "schedule/stage.hpp"
 #include "schedule/stage_order.hpp"
@@ -146,18 +149,30 @@ class StageOrderPass
 };
 
 /**
- * Plans and applies one continuous layout transition per stage. Owns
- * the ContinuousRouter (and through it the scratch buffers); randomized
- * decisions draw from ctx.rng.
+ * Plans and applies one layout transition per stage through the
+ * strategy selected by CompilerOptions::routing: the paper's continuous
+ * router (route/) or the reuse-aware router (reuse/). Owns the routers
+ * (and through them the scratch buffers); randomized decisions draw
+ * from ctx.rng. The reuse strategy requires the storage zone, so the
+ * storage-free configuration always routes continuously.
  */
 class RoutingPass
 {
   public:
     explicit RoutingPass(PipelineContext &ctx);
+
+    /**
+     * Announces the ordered stages of the next block before its first
+     * transition is routed (the reuse strategy's lookahead scans them;
+     * a no-op for the continuous router).
+     */
+    void beginBlock(PipelineContext &ctx, const std::vector<Stage> &stages);
+
     TransitionPlan run(PipelineContext &ctx, const Stage &stage);
 
   private:
     ContinuousRouter router_;
+    std::unique_ptr<ReuseAwareRouter> reuse_router_; // engaged iff Reuse
 };
 
 /** Groups a transition's moves into Coll-Moves and orders them. */

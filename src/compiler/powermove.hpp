@@ -6,7 +6,8 @@
  *   PlacementPass      initial layout (strategy-selected);
  *   StagePartitionPass edge-coloring stage partition (Sec. 4.1);
  *   StageOrderPass     zone-aware stage ordering (Sec. 4.2);
- *   RoutingPass        direct layout-to-layout transitions (Sec. 5);
+ *   RoutingPass        direct layout-to-layout transitions (Sec. 5),
+ *                      continuous or reuse-aware (src/reuse/);
  *   CollMoveOrderPass  distance-aware grouping + storage-dwell order
  *                      (Sec. 5.3 / 6.1);
  *   AodBatchPass       multi-AOD parallel batching (Sec. 6.2).

@@ -105,4 +105,60 @@ parseAodBatchPolicy(std::string_view text, AodBatchPolicy &out)
     return false;
 }
 
+std::string_view
+routingStrategyName(RoutingStrategy strategy)
+{
+    switch (strategy) {
+    case RoutingStrategy::Continuous:
+        return "continuous";
+    case RoutingStrategy::Reuse:
+        return "reuse";
+    }
+    return "unknown";
+}
+
+bool
+parseRoutingStrategy(std::string_view text, RoutingStrategy &out)
+{
+    for (const auto strategy :
+         {RoutingStrategy::Continuous, RoutingStrategy::Reuse}) {
+        if (text == routingStrategyName(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<StrategyCatalogEntry>
+strategyCatalog()
+{
+    // Defaults first in every row; the catalog is the single source the
+    // CLI prints, so a new enum value only needs a line here to stop
+    // users guessing flag spellings.
+    return {
+        {"placement",
+         "--placement",
+         {placementStrategyName(PlacementStrategy::RowMajor),
+          placementStrategyName(PlacementStrategy::ColumnInterleaved),
+          placementStrategyName(PlacementStrategy::UsageFrequency)}},
+        {"routing",
+         "--routing",
+         {routingStrategyName(RoutingStrategy::Continuous),
+          routingStrategyName(RoutingStrategy::Reuse)}},
+        {"stage-order",
+         "",
+         {stageOrderStrategyName(StageOrderStrategy::ZoneAware),
+          stageOrderStrategyName(StageOrderStrategy::AsPartitioned)}},
+        {"coll-move-order",
+         "",
+         {collMoveOrderStrategyName(CollMoveOrderStrategy::StorageDwell),
+          collMoveOrderStrategyName(CollMoveOrderStrategy::AsGrouped)}},
+        {"aod-batch",
+         "--batch-policy",
+         {aodBatchPolicyName(AodBatchPolicy::InOrder),
+          aodBatchPolicyName(AodBatchPolicy::DurationBalanced)}},
+    };
+}
+
 } // namespace powermove

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "collsched/multi_aod.hpp"
 
@@ -61,11 +62,27 @@ enum class CollMoveOrderStrategy : std::uint8_t
     StorageDwell,
 };
 
+/** How the RoutingPass plans stage transitions. */
+enum class RoutingStrategy : std::uint8_t
+{
+    /** The paper's Sec. 5 continuous router: every idle qubit parks. */
+    Continuous,
+    /**
+     * Gate-aware atom reuse (Lin et al.): idle qubits that interact
+     * again within CompilerOptions::reuse_lookahead stages stay parked
+     * in the compute zone instead of round-tripping to storage
+     * (src/reuse/). Requires the storage zone; the storage-free
+     * configuration falls back to Continuous.
+     */
+    Reuse,
+};
+
 /** Short stable name, e.g. "row-major"; used by reports and the CLI. */
 std::string_view placementStrategyName(PlacementStrategy strategy);
 std::string_view stageOrderStrategyName(StageOrderStrategy strategy);
 std::string_view collMoveOrderStrategyName(CollMoveOrderStrategy strategy);
 std::string_view aodBatchPolicyName(AodBatchPolicy policy);
+std::string_view routingStrategyName(RoutingStrategy strategy);
 
 /**
  * Parses a strategy name as printed by the matching *Name() function.
@@ -76,6 +93,22 @@ bool parseStageOrderStrategy(std::string_view text, StageOrderStrategy &out);
 bool parseCollMoveOrderStrategy(std::string_view text,
                                 CollMoveOrderStrategy &out);
 bool parseAodBatchPolicy(std::string_view text, AodBatchPolicy &out);
+bool parseRoutingStrategy(std::string_view text, RoutingStrategy &out);
+
+/**
+ * One row of the strategy catalog behind `powermove --list-strategies`:
+ * a strategy dimension, the CLI flag selecting it (empty when the
+ * dimension is library-only), and its value names, default first.
+ */
+struct StrategyCatalogEntry
+{
+    std::string_view dimension;
+    std::string_view flag;
+    std::vector<std::string_view> values;
+};
+
+/** Every strategy dimension with every value name, defaults first. */
+std::vector<StrategyCatalogEntry> strategyCatalog();
 
 } // namespace powermove
 

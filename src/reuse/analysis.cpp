@@ -1,0 +1,51 @@
+#include "reuse/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+void
+ReuseAnalysis::beginBlock(const std::vector<Stage> &stages,
+                          std::size_t num_qubits, bool final_block)
+{
+    uses_.assign(num_qubits, {});
+    num_stages_ = stages.size();
+    final_block_ = final_block;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        for (const CzGate &gate : stages[s].gates) {
+            PM_ASSERT(gate.a < num_qubits && gate.b < num_qubits,
+                      "stage gate outside circuit width");
+            // Stages arrive in order, so each per-qubit list stays
+            // sorted without an explicit sort.
+            uses_[gate.a].push_back(static_cast<std::uint32_t>(s));
+            uses_[gate.b].push_back(static_cast<std::uint32_t>(s));
+        }
+    }
+}
+
+std::size_t
+ReuseAnalysis::nextUseAfter(std::size_t stage, QubitId qubit) const
+{
+    PM_ASSERT(qubit < uses_.size(), "qubit outside the announced block");
+    const auto &uses = uses_[qubit];
+    const auto it = std::upper_bound(uses.begin(), uses.end(),
+                                     static_cast<std::uint32_t>(stage));
+    return it == uses.end() ? kNoNextUse : static_cast<std::size_t>(*it);
+}
+
+bool
+ReuseAnalysis::shouldHold(std::size_t stage, QubitId qubit,
+                          std::size_t window) const
+{
+    std::size_t next = nextUseAfter(stage, qubit);
+    // In the final block, program end is a reuse event one past the
+    // last stage: a finished qubit held through the closing pulses
+    // skips its final park move and is never excited afterwards.
+    if (next == kNoNextUse && final_block_)
+        next = num_stages_;
+    return next != kNoNextUse && next - stage <= window;
+}
+
+} // namespace powermove

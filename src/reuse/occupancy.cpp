@@ -1,0 +1,91 @@
+#include "reuse/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+ZoneOccupancy::ZoneOccupancy(const Machine &machine)
+    : machine_(machine), planned_(machine.numSites(), 0)
+{}
+
+void
+ZoneOccupancy::beginTransition(const Layout &layout)
+{
+    planned_.assign(machine_.numSites(), 0);
+    for (QubitId q = 0; q < layout.numQubits(); ++q)
+        ++planned_[layout.siteOf(q)];
+    total_planned_ = layout.numQubits();
+}
+
+void
+ZoneOccupancy::depart(SiteId site)
+{
+    PM_ASSERT(site < planned_.size(), "site id out of range");
+    PM_ASSERT(planned_[site] > 0, "departure from a planned-empty site");
+    --planned_[site];
+    --total_planned_;
+}
+
+void
+ZoneOccupancy::arrive(SiteId site)
+{
+    PM_ASSERT(site < planned_.size(), "site id out of range");
+    ++planned_[site];
+    ++total_planned_;
+}
+
+void
+ZoneOccupancy::resetResidency(std::size_t num_qubits, std::size_t end_stage)
+{
+    // Spans cut short by a block boundary still count as ended: the
+    // qubit was resident from its hold stage through the block's last
+    // stage (at least one stage even if end_stage is unknown).
+    for (QubitId q = 0; q < resident_since_.size(); ++q) {
+        if (resident_since_[q] != kNotResident) {
+            ++stats_.holds_ended;
+            stats_.resident_stages +=
+                end_stage > resident_since_[q]
+                    ? end_stage - resident_since_[q]
+                    : 1;
+        }
+    }
+    resident_since_.assign(num_qubits, kNotResident);
+    num_residents_ = 0;
+}
+
+bool
+ZoneOccupancy::isResident(QubitId qubit) const
+{
+    return qubit < resident_since_.size() &&
+           resident_since_[qubit] != kNotResident;
+}
+
+void
+ZoneOccupancy::holdResident(QubitId qubit, std::size_t stage)
+{
+    PM_ASSERT(qubit < resident_since_.size(),
+              "resetResidency() must size the qubit table first");
+    if (resident_since_[qubit] != kNotResident)
+        return;
+    resident_since_[qubit] = stage;
+    ++num_residents_;
+    ++stats_.holds_started;
+    stats_.max_concurrent = std::max(stats_.max_concurrent, num_residents_);
+}
+
+void
+ZoneOccupancy::releaseResident(QubitId qubit, std::size_t stage)
+{
+    if (!isResident(qubit))
+        return;
+    const std::size_t since = resident_since_[qubit];
+    PM_ASSERT(stage >= since, "residency released before it started");
+    resident_since_[qubit] = kNotResident;
+    --num_residents_;
+    ++stats_.holds_ended;
+    stats_.resident_stages += stage - since;
+}
+
+} // namespace powermove

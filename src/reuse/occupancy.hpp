@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Planned zone occupancy and compute-zone residency lifetimes.
+ *
+ * The reuse-aware router plans each stage transition against the
+ * occupancy every site will have *after* the transition settles.
+ * ZoneOccupancy owns that planned end-state: it is rebuilt from the
+ * live Layout at the start of every transition, mutated through
+ * depart()/arrive() as decisions are made, and exposed as the raw
+ * per-site array the shared free-site searches consume.
+ *
+ * On top of the per-transition occupancy it tracks residency lifetimes
+ * across the stage sequence: a qubit "held" in the compute zone between
+ * two of its interactions is resident from the stage the hold started
+ * until it is released (parked to storage, consumed by its next gate,
+ * or the block ends). The lifetime counters feed the routing pass's
+ * reuse profile and the subsystem's tests.
+ */
+
+#ifndef POWERMOVE_REUSE_OCCUPANCY_HPP
+#define POWERMOVE_REUSE_OCCUPANCY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+
+namespace powermove {
+
+/** Cumulative residency statistics over a router's lifetime. */
+struct ResidencyStats
+{
+    /** Hold spans started (one per qubit per contiguous residency). */
+    std::uint64_t holds_started = 0;
+    /** Hold spans ended, including those cut short by the block end. */
+    std::uint64_t holds_ended = 0;
+    /** Total stages spent resident, summed over ended spans. */
+    std::uint64_t resident_stages = 0;
+    /** Largest number of simultaneously resident qubits observed. */
+    std::size_t max_concurrent = 0;
+};
+
+/** Planned end-state occupancy plus residency lifetimes. */
+class ZoneOccupancy
+{
+  public:
+    explicit ZoneOccupancy(const Machine &machine);
+
+    /** Rebuilds the planned occupancy from the live @p layout. */
+    void beginTransition(const Layout &layout);
+
+    /** Planned number of qubits at @p site once the transition settles. */
+    int plannedAt(SiteId site) const { return planned_[site]; }
+
+    /** Records a planned departure from @p site. */
+    void depart(SiteId site);
+
+    /** Records a planned arrival at @p site. */
+    void arrive(SiteId site);
+
+    /** The raw planned array, for the shared free-site searches. */
+    const std::vector<int> &planned() const { return planned_; }
+
+    /** Sum of the planned occupancy (conserved across depart/arrive pairs). */
+    std::size_t totalPlanned() const { return total_planned_; }
+
+    // ---- residency lifetimes across the stage sequence ------------------
+
+    /**
+     * Forgets every residency (new block). Surviving spans are closed
+     * as if released at @p end_stage — one past the closing block's
+     * last stage — so their full length is credited to the stats.
+     */
+    void resetResidency(std::size_t num_qubits, std::size_t end_stage = 0);
+
+    /** True if @p qubit is currently held resident in the compute zone. */
+    bool isResident(QubitId qubit) const;
+
+    /** Starts a residency span at @p stage. No-op if already resident. */
+    void holdResident(QubitId qubit, std::size_t stage);
+
+    /**
+     * Ends a residency span at @p stage, crediting its length to the
+     * stats. No-op if @p qubit is not resident.
+     */
+    void releaseResident(QubitId qubit, std::size_t stage);
+
+    /** Number of currently resident qubits. */
+    std::size_t numResidents() const { return num_residents_; }
+
+    const ResidencyStats &stats() const { return stats_; }
+
+  private:
+    static constexpr std::size_t kNotResident = ~std::size_t{0};
+
+    const Machine &machine_;
+    std::vector<int> planned_;
+    std::size_t total_planned_ = 0;
+    std::vector<std::size_t> resident_since_; // qubit -> hold start stage
+    std::size_t num_residents_ = 0;
+    ResidencyStats stats_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_REUSE_OCCUPANCY_HPP

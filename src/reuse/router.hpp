@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The reuse-aware router: gate-aware atom reuse across stage transitions.
+ *
+ * The continuous router (route/router.hpp) parks *every* idle qubit in
+ * the storage zone at every stage transition. Lin et al. ("Reuse-Aware
+ * Compilation for Zoned Quantum Architectures Based on Neutral Atoms")
+ * observe that when a qubit interacts again within a few stages, the
+ * round trip to storage — two transfers out, two transfers back, plus
+ * two shuttle legs across the inter-zone gap — costs more fidelity and
+ * time than simply leaving the atom parked in the compute zone, where
+ * it merely absorbs one excitation exposure per intervening pulse.
+ *
+ * Per stage transition this router:
+ *
+ *  - Step 1: splits the idle-in-compute qubits by the ReuseAnalysis
+ *    lookahead — a qubit whose next interaction lies within the window
+ *    becomes a hold candidate; the rest park in storage exactly like
+ *    the continuous router's step 1.
+ *  - Step 2: labels the interacting qubits (static / mobile /
+ *    undecided) following the same Fig. 4 cases and the same RNG
+ *    stream discipline as the continuous router. Interactions have
+ *    priority: they are planned as if the holds were invisible.
+ *  - Step 3: resolves undecided qubits onto planned-empty compute
+ *    sites (held sites are planned-occupied, so they are never taken).
+ *  - Step 4: settles the holds. A candidate whose site ends the
+ *    transition alone keeps it without moving; one displaced by an
+ *    interaction (or sharing a site with another idle atom, which
+ *    would blockade during the pulse) relocates to the nearest
+ *    planned-free compute site; if none survives, it is released to
+ *    storage after all.
+ *
+ * The emitted TransitionPlan is consumed by the unchanged Coll-Move
+ * grouping / ordering / AOD batching machinery; held qubits end every
+ * transition alone at a compute site, which the hardware validator
+ * accepts (a lone atom during a pulse is an excitation exposure, not
+ * an illegal blockade pair).
+ *
+ * This strategy requires the storage zone; the pipeline falls back to
+ * the continuous router in the storage-free configuration.
+ */
+
+#ifndef POWERMOVE_REUSE_ROUTER_HPP
+#define POWERMOVE_REUSE_ROUTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+#include "common/rng.hpp"
+#include "reuse/analysis.hpp"
+#include "reuse/occupancy.hpp"
+#include "route/free_site_index.hpp"
+#include "route/router.hpp"
+#include "schedule/stage.hpp"
+
+namespace powermove {
+
+/** Reuse-aware router knobs. */
+struct ReuseRouterOptions
+{
+    /**
+     * Hold an idle qubit only if it interacts again within this many
+     * stages (>= 1). Larger windows hold more atoms — saving more
+     * storage round trips but accruing more excitation exposures.
+     */
+    std::size_t lookahead = 4;
+    /** Seed for the randomized mobile/static choice (Fig. 4 case d). */
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** Plans stage transitions with gate-aware atom reuse. */
+class ReuseAwareRouter
+{
+  public:
+    ReuseAwareRouter(const Machine &machine, ReuseRouterOptions options = {});
+
+    /** Draws randomized decisions from @p rng (must outlive the router). */
+    ReuseAwareRouter(const Machine &machine, ReuseRouterOptions options,
+                     Rng &rng);
+
+    // rng_ may point at own_rng_, so a defaulted copy/move would leave
+    // the new object drawing from the source's (possibly dead) stream.
+    ReuseAwareRouter(const ReuseAwareRouter &) = delete;
+    ReuseAwareRouter &operator=(const ReuseAwareRouter &) = delete;
+
+    /**
+     * Announces the ordered stages of the next block. Must be called
+     * before routing the block's first stage; subsequent
+     * planStageTransition() calls consume the stages in this order.
+     * @p final_block marks the program's last block, where program end
+     * acts as a virtual reuse event (see ReuseAnalysis::beginBlock).
+     */
+    void beginBlock(const std::vector<Stage> &stages, std::size_t num_qubits,
+                    bool final_block = false);
+
+    /**
+     * Plans the transition bringing @p layout into a configuration
+     * executing @p stage — which must be the next announced stage —
+     * and applies it to @p layout.
+     *
+     * Post-conditions: every gate pair of the stage shares one compute
+     * site; every held idle qubit sits alone at a compute site; every
+     * other idle qubit sits in the storage zone.
+     */
+    TransitionPlan planStageTransition(Layout &layout, const Stage &stage);
+
+    const ReuseRouterOptions &options() const { return options_; }
+
+    /** Residency lifetime counters accumulated across all transitions. */
+    const ResidencyStats &residencyStats() const { return occupancy_.stats(); }
+
+  private:
+    const Machine &machine_;
+    ReuseRouterOptions options_;
+    Rng own_rng_; // used unless an external stream was supplied
+    Rng *rng_;    // &own_rng_ or the caller's stream
+
+    ZoneOccupancy occupancy_;
+    ReuseAnalysis analysis_;
+    StorageSlotIndex storage_index_;
+    std::size_t stage_cursor_ = 0;
+
+    // Scratch buffers reused across transitions (allocation-free
+    // planning, matching the continuous router's compile-time story).
+    std::vector<QubitId> partner_;
+    std::vector<SiteId> target_;
+    std::vector<MoveLabel> label_;
+    std::vector<bool> labeled_;
+    std::vector<int> statics_at_;
+    std::vector<QubitId> follower_;
+    std::vector<QubitId> undecided_order_;
+    std::vector<QubitId> holds_;
+    std::vector<int> holds_at_; // per site: hold candidates parked there
+    std::vector<QubitId> releases_;
+    std::vector<QubitId> relocated_;
+    std::vector<QubitId> denied_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_REUSE_ROUTER_HPP

@@ -1,0 +1,143 @@
+#include "route/free_site_index.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+StorageSlotIndex::StorageSlotIndex(const Machine &machine)
+    : machine_(machine),
+      cursor_(static_cast<std::size_t>(machine.config().storage_cols), 0)
+{}
+
+void
+StorageSlotIndex::beginTransition()
+{
+    cursor_.assign(cursor_.size(), 0);
+}
+
+std::int32_t
+StorageSlotIndex::firstFreeRow(std::int32_t column,
+                               const std::vector<int> &planned)
+{
+    const std::int32_t top = machine_.storageTopRow();
+    const std::int32_t rows = machine_.config().storage_rows;
+    std::int32_t r = cursor_[static_cast<std::size_t>(column)];
+    while (r < rows &&
+           planned[machine_.siteAt(SiteCoord{column, top + r})] != 0) {
+        ++r;
+    }
+    cursor_[static_cast<std::size_t>(column)] = r;
+    return r < rows ? top + r : -1;
+}
+
+SiteId
+StorageSlotIndex::claimSlot(SiteCoord origin, const std::vector<int> &planned)
+{
+    // Prefer a vertical drop (same column), then the shallowest row:
+    // lexicographic minimum of (|dx|, y, x). Scanning columns outward
+    // from the origin lets the first hit at column distance dx settle
+    // the answer after comparing both sides.
+    //
+    // Two attempts: if every cursor is exhausted, rewind them and scan
+    // once more before declaring the zone full — a slot freed *behind*
+    // a cursor in the same transition (the reuse router's fallback-
+    // release path runs after storage departures are planned) is only
+    // visible to a fresh scan. During monotonic parking a rescan sees
+    // the same full zone, so the continuous router's behavior is
+    // unchanged.
+    const std::int32_t cols = machine_.config().storage_cols;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (attempt > 0)
+            beginTransition();
+        for (std::int32_t dx = 0; dx < cols + std::abs(origin.x); ++dx) {
+            SiteId best = kInvalidSite;
+            SiteCoord best_coord{0, 0};
+            for (const std::int32_t x : {origin.x - dx, origin.x + dx}) {
+                if (x < 0 || x >= cols || (dx == 0 && x != origin.x))
+                    continue;
+                const std::int32_t y = firstFreeRow(x, planned);
+                if (y < 0)
+                    continue;
+                const SiteCoord coord{x, y};
+                if (best == kInvalidSite || coord.y < best_coord.y ||
+                    (coord.y == best_coord.y && coord.x < best_coord.x)) {
+                    best = machine_.siteAt(coord);
+                    best_coord = coord;
+                }
+            }
+            if (best != kInvalidSite)
+                return best;
+        }
+    }
+    fatal("storage zone is full; enlarge the machine");
+}
+
+SiteId
+findNearestFreeComputeSite(const Machine &machine, SiteId origin,
+                           const std::vector<int> &planned)
+{
+    // Expanding Chebyshev-ring search for the euclidean-nearest planned-
+    // empty compute site (ties broken by (y, x)). A candidate at ring r
+    // can only be beaten by sites within euclidean distance best_dist,
+    // so the search stops once r * pitch exceeds the incumbent.
+    const PhysCoord from = machine.physOf(origin);
+    const auto &config = machine.config();
+    const std::int32_t cols = config.compute_cols;
+    const std::int32_t rows = config.compute_rows;
+    const double pitch = machine.params().site_pitch.microns();
+    const SiteCoord center = machine.coordOf(origin);
+    // The origin may sit in the storage zone (Fig. 4b), so the ring
+    // radius must be able to span the whole lattice height.
+    const std::int32_t max_ring =
+        cols + rows + config.gap_rows + config.storage_rows;
+
+    SiteId best = kInvalidSite;
+    double best_dist = std::numeric_limits<double>::infinity();
+    SiteCoord best_coord{0, 0};
+
+    const auto consider = [&](std::int32_t x, std::int32_t y) {
+        if (x < 0 || x >= cols || y < 0 || y >= rows)
+            return;
+        const SiteId site = machine.siteAt(SiteCoord{x, y});
+        if (planned[site] != 0)
+            return;
+        const double dist = euclidean(from, machine.physOf(site)).microns();
+        const SiteCoord coord{x, y};
+        const bool better =
+            dist < best_dist ||
+            (dist == best_dist &&
+             (coord.y < best_coord.y ||
+              (coord.y == best_coord.y && coord.x < best_coord.x)));
+        if (best == kInvalidSite || better) {
+            best = site;
+            best_dist = dist;
+            best_coord = coord;
+        }
+    };
+
+    for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+        if (best != kInvalidSite &&
+            (static_cast<double>(ring) - 1.0) * pitch > best_dist) {
+            break;
+        }
+        if (ring == 0) {
+            consider(center.x, center.y);
+            continue;
+        }
+        for (std::int32_t x = center.x - ring; x <= center.x + ring; ++x) {
+            consider(x, center.y - ring);
+            consider(x, center.y + ring);
+        }
+        for (std::int32_t y = center.y - ring + 1; y <= center.y + ring - 1;
+             ++y) {
+            consider(center.x - ring, y);
+            consider(center.x + ring, y);
+        }
+    }
+    return best;
+}
+
+} // namespace powermove

@@ -1,7 +1,6 @@
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/error.hpp"
 
@@ -9,120 +8,20 @@ namespace powermove {
 
 ContinuousRouter::ContinuousRouter(const Machine &machine, RouterOptions options)
     : machine_(machine), options_(options), own_rng_(options.seed),
-      rng_(&own_rng_)
+      rng_(&own_rng_), storage_index_(machine)
 {}
 
 ContinuousRouter::ContinuousRouter(const Machine &machine,
                                    RouterOptions options, Rng &rng)
-    : machine_(machine), options_(options), own_rng_(options.seed), rng_(&rng)
+    : machine_(machine), options_(options), own_rng_(options.seed), rng_(&rng),
+      storage_index_(machine)
 {}
-
-SiteId
-ContinuousRouter::findStorageSlot(SiteCoord origin,
-                                  const std::vector<int> &planned) const
-{
-    // Prefer a vertical drop (same column), then the shallowest row:
-    // lexicographic minimum of (|dx|, y, x). Scanning columns outward
-    // from the origin lets the first hit at column distance dx settle
-    // the answer after comparing both sides.
-    const auto &config = machine_.config();
-    const std::int32_t cols = config.storage_cols;
-    const std::int32_t top = machine_.storageTopRow();
-    const std::int32_t rows = config.storage_rows;
-
-    const auto first_free_row = [&](std::int32_t x) -> std::int32_t {
-        for (std::int32_t r = 0; r < rows; ++r) {
-            const SiteId site = machine_.siteAt(SiteCoord{x, top + r});
-            if (planned[site] == 0)
-                return top + r;
-        }
-        return -1;
-    };
-
-    for (std::int32_t dx = 0; dx < cols + std::abs(origin.x); ++dx) {
-        SiteId best = kInvalidSite;
-        SiteCoord best_coord{0, 0};
-        for (const std::int32_t x : {origin.x - dx, origin.x + dx}) {
-            if (x < 0 || x >= cols || (dx == 0 && x != origin.x))
-                continue;
-            const std::int32_t y = first_free_row(x);
-            if (y < 0)
-                continue;
-            const SiteCoord coord{x, y};
-            if (best == kInvalidSite || coord.y < best_coord.y ||
-                (coord.y == best_coord.y && coord.x < best_coord.x)) {
-                best = machine_.siteAt(coord);
-                best_coord = coord;
-            }
-        }
-        if (best != kInvalidSite)
-            return best;
-    }
-    fatal("storage zone is full; enlarge the machine");
-}
 
 SiteId
 ContinuousRouter::findEmptyComputeSite(SiteId origin,
                                        const std::vector<int> &planned) const
 {
-    // Expanding Chebyshev-ring search for the euclidean-nearest planned-
-    // empty compute site (ties broken by (y, x)). A candidate at ring r
-    // can only be beaten by sites within euclidean distance best_dist,
-    // so the search stops once r * pitch exceeds the incumbent.
-    const PhysCoord from = machine_.physOf(origin);
-    const auto &config = machine_.config();
-    const std::int32_t cols = config.compute_cols;
-    const std::int32_t rows = config.compute_rows;
-    const double pitch = machine_.params().site_pitch.microns();
-    const SiteCoord center = machine_.coordOf(origin);
-    // The origin may sit in the storage zone (Fig. 4b), so the ring
-    // radius must be able to span the whole lattice height.
-    const std::int32_t max_ring =
-        cols + rows + config.gap_rows + config.storage_rows;
-
-    SiteId best = kInvalidSite;
-    double best_dist = std::numeric_limits<double>::infinity();
-    SiteCoord best_coord{0, 0};
-
-    const auto consider = [&](std::int32_t x, std::int32_t y) {
-        if (x < 0 || x >= cols || y < 0 || y >= rows)
-            return;
-        const SiteId site = machine_.siteAt(SiteCoord{x, y});
-        if (planned[site] != 0)
-            return;
-        const double dist = euclidean(from, machine_.physOf(site)).microns();
-        const SiteCoord coord{x, y};
-        const bool better =
-            dist < best_dist ||
-            (dist == best_dist &&
-             (coord.y < best_coord.y ||
-              (coord.y == best_coord.y && coord.x < best_coord.x)));
-        if (best == kInvalidSite || better) {
-            best = site;
-            best_dist = dist;
-            best_coord = coord;
-        }
-    };
-
-    for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
-        if (best != kInvalidSite &&
-            (static_cast<double>(ring) - 1.0) * pitch > best_dist) {
-            break;
-        }
-        if (ring == 0) {
-            consider(center.x, center.y);
-            continue;
-        }
-        for (std::int32_t x = center.x - ring; x <= center.x + ring; ++x) {
-            consider(x, center.y - ring);
-            consider(x, center.y + ring);
-        }
-        for (std::int32_t y = center.y - ring + 1; y <= center.y + ring - 1;
-             ++y) {
-            consider(center.x - ring, y);
-            consider(center.x + ring, y);
-        }
-    }
+    const SiteId best = findNearestFreeComputeSite(machine_, origin, planned);
     if (best == kInvalidSite)
         fatal("compute zone has no free site; enlarge the machine");
     return best;
@@ -156,6 +55,7 @@ ContinuousRouter::planStageTransition(Layout &layout, const Stage &stage)
 
     // ---- Step 1: park next-stage idle qubits in storage. -----------------
     if (options_.use_storage) {
+        storage_index_.beginTransition();
         auto &idle_in_compute = idle_in_compute_;
         idle_in_compute.clear();
         for (QubitId q = 0; q < num_qubits; ++q) {
@@ -180,7 +80,7 @@ ContinuousRouter::planStageTransition(Layout &layout, const Stage &stage)
         for (const QubitId q : idle_in_compute) {
             const SiteId from = layout.siteOf(q);
             const SiteId slot =
-                findStorageSlot(machine_.coordOf(from), planned);
+                storage_index_.claimSlot(machine_.coordOf(from), planned);
             --planned[from];
             ++planned[slot];
             target[q] = slot;

@@ -32,6 +32,7 @@
 #include "arch/layout.hpp"
 #include "arch/machine.hpp"
 #include "common/rng.hpp"
+#include "route/free_site_index.hpp"
 #include "route/move.hpp"
 #include "schedule/stage.hpp"
 
@@ -57,6 +58,19 @@ struct TransitionPlan
     std::size_t num_parked = 0;
     /** Idle qubits evicted to dodge clustering (storage-free mode). */
     std::size_t num_evicted = 0;
+
+    // Reuse-strategy accounting (always zero for the continuous router;
+    // see reuse/router.hpp for the strategy that fills these in).
+    /** Idle qubits kept resident in the compute zone this transition. */
+    std::size_t num_held = 0;
+    /** Held qubits relocated within the compute zone to dodge a pair. */
+    std::size_t num_reuse_relocated = 0;
+    /** Hold candidates denied a surviving site, released to storage. */
+    std::size_t num_hold_denied = 0;
+    /** Interacting qubits that entered the stage already held resident. */
+    std::size_t num_reuse_hits = 0;
+    /** Idle qubits whose next use lay beyond the lookahead window. */
+    std::size_t num_lookahead_misses = 0;
 };
 
 /** Plans direct layout-to-layout transitions (paper Sec. 5). */
@@ -74,6 +88,11 @@ class ContinuousRouter
      */
     ContinuousRouter(const Machine &machine, RouterOptions options, Rng &rng);
 
+    // rng_ may point at own_rng_, so a defaulted copy/move would leave
+    // the new object drawing from the source's (possibly dead) stream.
+    ContinuousRouter(const ContinuousRouter &) = delete;
+    ContinuousRouter &operator=(const ContinuousRouter &) = delete;
+
     /**
      * Plans the transition bringing @p layout into a configuration that
      * executes @p stage, and applies it to @p layout.
@@ -88,15 +107,8 @@ class ContinuousRouter
 
   private:
     /**
-     * Closest planned-empty storage site for a qubit at @p origin:
-     * minimal column distance, then shallowest row (Sec. 5.2 step 1).
-     */
-    SiteId findStorageSlot(SiteCoord origin,
-                           const std::vector<int> &planned) const;
-
-    /**
      * Nearest compute site that will be empty once all planned departures
-     * and arrivals settle (Sec. 5.2 step 3).
+     * and arrivals settle (Sec. 5.2 step 3); fatal when the zone is full.
      */
     SiteId findEmptyComputeSite(SiteId origin,
                                 const std::vector<int> &planned) const;
@@ -105,6 +117,7 @@ class ContinuousRouter
     RouterOptions options_;
     Rng own_rng_;  // used unless an external stream was supplied
     Rng *rng_;     // &own_rng_ or the caller's stream
+    StorageSlotIndex storage_index_; // incremental Sec. 5.2 step 1 search
 
     // Scratch buffers reused across transitions to keep the planning
     // pass allocation-free (the compile-time story of Sec. 7.2 depends

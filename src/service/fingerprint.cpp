@@ -85,7 +85,7 @@ fingerprintMachineConfig(const MachineConfig &config)
 // assertion until both the hash and the expected size are updated (the
 // structured-binding probe in fingerprint_test.cpp guards field *count*
 // even when padding absorbs the addition).
-static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 40,
+static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 48,
               "CompilerOptions changed: extend fingerprintOptions() with the "
               "new field, then update this expected size");
 
@@ -102,6 +102,8 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(static_cast<std::uint64_t>(options.stage_order));
     hash.add(static_cast<std::uint64_t>(options.coll_move_order));
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));
+    hash.add(static_cast<std::uint64_t>(options.routing));
+    hash.add(static_cast<std::uint64_t>(options.reuse_lookahead));
     // profile_passes never changes the emitted schedule, but it changes
     // the CompileResult payload (pass_profiles present or empty), so it
     // is addressed too: a spurious miss beats handing a caller a cached

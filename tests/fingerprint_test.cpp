@@ -141,6 +141,14 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     cm_order.coll_move_order = CollMoveOrderStrategy::AsGrouped;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(cm_order));
 
+    CompilerOptions routing = base;
+    routing.routing = RoutingStrategy::Reuse;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(routing));
+
+    CompilerOptions lookahead = base;
+    lookahead.reuse_lookahead += 1;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(lookahead));
+
     CompilerOptions profiling = base;
     profiling.profile_passes = false;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(profiling));
@@ -158,8 +166,8 @@ TEST(FingerprintTest, OptionFieldCountProbe)
 {
     const CompilerOptions options;
     const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
-                 stage_order, coll_move_order, aod_batch_policy,
-                 profile_passes] = options;
+                 stage_order, coll_move_order, aod_batch_policy, routing,
+                 reuse_lookahead, profile_passes] = options;
     EXPECT_EQ(use_storage, options.use_storage);
     EXPECT_EQ(num_aods, options.num_aods);
     EXPECT_EQ(stage_order_alpha, options.stage_order_alpha);
@@ -168,6 +176,8 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     EXPECT_EQ(stage_order, options.stage_order);
     EXPECT_EQ(coll_move_order, options.coll_move_order);
     EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);
+    EXPECT_EQ(routing, options.routing);
+    EXPECT_EQ(reuse_lookahead, options.reuse_lookahead);
     EXPECT_EQ(profile_passes, options.profile_passes);
 }
 

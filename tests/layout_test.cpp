@@ -4,6 +4,7 @@
 
 #include "arch/layout.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace powermove {
 namespace {
@@ -150,6 +151,76 @@ TEST(PlaceRowMajorTest, OverfullZoneRejected)
     const Machine machine(MachineConfig::forQubits(9)); // 9 compute sites
     Layout layout(machine, 10);
     EXPECT_THROW(placeRowMajor(layout, ZoneKind::Compute), ConfigError);
+}
+
+/**
+ * Churn property: any legal sequence of park/evict/claim operations —
+ * modeled as random place/moveTo/unplace churn like the routers apply
+ * — never double-occupies a site beyond its zone capacity, keeps every
+ * occupant list consistent with siteOf(), and conserves the
+ * countInZone totals (placed = compute + storage). This is the
+ * occupancy contract the reuse subsystem's ZoneOccupancy plans
+ * against.
+ */
+TEST(LayoutChurnProperty, RandomChurnPreservesZoneInvariants)
+{
+    const Machine machine(MachineConfig::forQubits(12));
+    const std::size_t num_qubits = 12;
+
+    for (const std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+        Rng rng(seed);
+        Layout layout(machine, num_qubits);
+        std::size_t placed = 0;
+
+        const auto random_site_with_room = [&]() -> SiteId {
+            // Rejection-sample a site with spare capacity; the lattice
+            // always has room for 12 qubits.
+            for (;;) {
+                const auto site = static_cast<SiteId>(
+                    rng.nextBelow(machine.numSites()));
+                const std::size_t cap =
+                    machine.zoneOf(site) == ZoneKind::Compute ? 2 : 1;
+                if (layout.occupancy(site) < cap)
+                    return site;
+            }
+        };
+
+        for (int op = 0; op < 2000; ++op) {
+            const auto q =
+                static_cast<QubitId>(rng.nextBelow(num_qubits));
+            if (layout.siteOf(q) == kInvalidSite) {
+                layout.place(q, random_site_with_room()); // claim
+                ++placed;
+            } else if (rng.nextBool(0.5)) {
+                layout.moveTo(q, random_site_with_room()); // park/evict
+            } else {
+                layout.unplace(q);
+                --placed;
+            }
+
+            // Capacity and occupant-list consistency at every site.
+            std::size_t census = 0;
+            for (SiteId site = 0; site < machine.numSites(); ++site) {
+                const std::size_t occ = layout.occupancy(site);
+                const std::size_t cap =
+                    machine.zoneOf(site) == ZoneKind::Compute ? 2 : 1;
+                ASSERT_LE(occ, cap) << "seed " << seed << " op " << op;
+                const auto occupants = layout.occupants(site);
+                for (std::size_t slot = 0; slot < occ; ++slot) {
+                    ASSERT_NE(occupants[slot], kNoQubit);
+                    ASSERT_EQ(layout.siteOf(occupants[slot]), site);
+                }
+                census += occ;
+            }
+            ASSERT_EQ(census, placed) << "seed " << seed << " op " << op;
+
+            // Zone totals conserve the placed count.
+            ASSERT_EQ(layout.countInZone(ZoneKind::Compute) +
+                          layout.countInZone(ZoneKind::Storage),
+                      placed)
+                << "seed " << seed << " op " << op;
+        }
+    }
 }
 
 } // namespace

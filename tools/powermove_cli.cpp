@@ -11,6 +11,8 @@
  * Usage:
  *   powermove [options] <file.qasm>...
  *
+ * Value-taking options accept both `--flag value` and `--flag=value`.
+ *
  * Options:
  *   --jobs N       worker threads (default: one per hardware thread)
  *   --num-aods N   independent AOD arrays per compilation (default 1)
@@ -19,8 +21,14 @@
  *   --alpha A      stage-ordering weight alpha in (0, 1] (default 0.5)
  *   --placement P  initial-layout strategy: row-major (default),
  *                  column-interleaved, or usage-frequency
+ *   --routing R    stage-transition routing: continuous (default, the
+ *                  paper's Sec. 5 router) or reuse (gate-aware atom
+ *                  reuse, src/reuse/)
+ *   --reuse-lookahead N  reuse hold window in stages (default 4)
  *   --batch-policy P  AOD batching: in-order (default, the paper's
  *                  chunking) or duration-balanced
+ *   --list-strategies  print every strategy dimension with its value
+ *                  names and exit
  *   --profile      print the per-pass time/counter breakdown per input
  *   --fuse         fuse commutable CZ blocks before compiling
  *   --out-dir DIR  directory for ISA JSON (default: next to each input)
@@ -77,6 +85,8 @@ printUsage(std::FILE *stream)
         "through a thread-pooled, cache-fronted batch service, emitting\n"
         "<stem>.isa.json plus a fidelity summary per input.\n"
         "\n"
+        "Value-taking options accept --flag VALUE and --flag=VALUE.\n"
+        "\n"
         "options:\n"
         "  --jobs N       worker threads (default: hardware concurrency)\n"
         "  --num-aods N   independent AOD arrays (default 1)\n"
@@ -85,9 +95,16 @@ printUsage(std::FILE *stream)
         "  --alpha A      stage-ordering weight in (0, 1] (default 0.5)\n"
         "  --placement P  initial layout: row-major (default),\n"
         "                 column-interleaved, or usage-frequency\n"
+        "  --routing R    stage-transition routing: continuous (default)\n"
+        "                 or reuse (gate-aware atom reuse)\n"
+        "  --reuse-lookahead N\n"
+        "                 reuse hold window in stages (default 4)\n"
         "  --batch-policy P\n"
         "                 AOD batching: in-order (default) or\n"
         "                 duration-balanced\n"
+        "  --list-strategies\n"
+        "                 print every strategy dimension with its value\n"
+        "                 names and exit\n"
         "  --profile      print the per-pass time/counter breakdown\n"
         "  --fuse         fuse commutable CZ blocks before compiling\n"
         "  --out-dir DIR  directory for ISA JSON output\n"
@@ -96,110 +113,201 @@ printUsage(std::FILE *stream)
         "  --help         show this text\n");
 }
 
+/**
+ * Prints the strategy catalog: every pass dimension with its value
+ * names (defaults first) and the flag that selects it, so nobody has
+ * to guess flag spellings from the docs.
+ */
+void
+printStrategies()
+{
+    std::printf("strategy dimensions (default value listed first):\n");
+    for (const StrategyCatalogEntry &entry : strategyCatalog()) {
+        std::string values;
+        for (std::size_t i = 0; i < entry.values.size(); ++i) {
+            if (i > 0)
+                values += " | ";
+            values += entry.values[i];
+            if (i == 0)
+                values += " (default)";
+        }
+        const std::string dimension(entry.dimension);
+        const std::string flag =
+            entry.flag.empty() ? "(library-only)" : std::string(entry.flag);
+        std::printf("  %-16s %-16s %s\n", dimension.c_str(), flag.c_str(),
+                    values.c_str());
+    }
+}
+
+/**
+ * Expands argv into a flat token list, splitting `--flag=value` into
+ * `--flag` and `value` so both spellings parse identically. Only flags
+ * that actually take a value are split — `--profile=1` stays intact
+ * and fails as an unknown option instead of leaking `1` into the
+ * input-file list (and file names containing '=' are never flags).
+ */
+std::vector<std::string>
+expandArgs(int argc, char **argv)
+{
+    // Must list every value-taking branch of parseArgs() below, or the
+    // `--flag=value` spelling of a new flag fails as an unknown option
+    // while `--flag value` works.
+    static constexpr const char *kValueFlags[] = {
+        "--jobs",      "--num-aods",        "--seed",
+        "--alpha",     "--placement",       "--routing",
+        "--reuse-lookahead", "--batch-policy", "--out-dir",
+    };
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::size_t eq = arg.find('=');
+        bool split = false;
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+            eq != std::string::npos) {
+            const std::string flag = arg.substr(0, eq);
+            for (const char *value_flag : kValueFlags)
+                split = split || flag == value_flag;
+        }
+        if (split) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(arg);
+        }
+    }
+    return args;
+}
+
 /** Parses argv; returns false (after usage) on malformed input. */
 bool
 parseArgs(int argc, char **argv, CliOptions &cli)
 {
-    const auto numeric = [&](const char *flag, int &i,
-                             std::uint64_t &out) -> bool {
-        if (i + 1 >= argc) {
+    const std::vector<std::string> args = expandArgs(argc, argv);
+    const std::size_t count = args.size();
+
+    const auto take_value = [&](const char *flag, std::size_t &i,
+                                std::string &out) -> bool {
+        if (i + 1 >= count) {
             std::fprintf(stderr, "powermove: %s requires a value\n", flag);
             return false;
         }
-        const char *text = argv[++i];
+        out = args[++i];
+        return true;
+    };
+
+    const auto numeric = [&](const char *flag, std::size_t &i,
+                             std::uint64_t &out) -> bool {
+        std::string text;
+        if (!take_value(flag, i, text))
+            return false;
         char *end = nullptr;
         // strtoull silently wraps negatives to huge values; reject signs.
-        out = (*text == '-' || *text == '+')
+        out = (text[0] == '-' || text[0] == '+')
                   ? 0
-                  : std::strtoull(text, &end, 0);
-        if (end == text || end == nullptr || *end != '\0') {
+                  : std::strtoull(text.c_str(), &end, 0);
+        if (end == text.c_str() || end == nullptr || *end != '\0') {
             std::fprintf(stderr, "powermove: bad value for %s: '%s'\n", flag,
-                         text);
+                         text.c_str());
             return false;
         }
         return true;
     };
 
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string &arg = args[i];
         std::uint64_t value = 0;
-        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        std::string text;
+        if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             std::exit(0);
-        } else if (std::strcmp(arg, "--jobs") == 0) {
+        } else if (arg == "--list-strategies") {
+            printStrategies();
+            std::exit(0);
+        } else if (arg == "--jobs") {
             if (!numeric("--jobs", i, value))
                 return false;
             cli.jobs = static_cast<std::size_t>(value);
-        } else if (std::strcmp(arg, "--num-aods") == 0) {
+        } else if (arg == "--num-aods") {
             if (!numeric("--num-aods", i, value))
                 return false;
             cli.compiler.num_aods = static_cast<std::size_t>(value);
-        } else if (std::strcmp(arg, "--seed") == 0) {
+        } else if (arg == "--seed") {
             if (!numeric("--seed", i, value))
                 return false;
             cli.compiler.seed = value;
-        } else if (std::strcmp(arg, "--alpha") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "powermove: --alpha requires a value\n");
+        } else if (arg == "--reuse-lookahead") {
+            if (!numeric("--reuse-lookahead", i, value))
+                return false;
+            if (value == 0) {
+                std::fprintf(stderr,
+                             "powermove: --reuse-lookahead must be >= 1\n");
                 return false;
             }
-            const char *text = argv[++i];
+            cli.compiler.reuse_lookahead =
+                static_cast<std::uint32_t>(value);
+        } else if (arg == "--alpha") {
+            if (!take_value("--alpha", i, text))
+                return false;
             char *end = nullptr;
-            const double alpha = std::strtod(text, &end);
-            if (end == text || *end != '\0' || !(alpha > 0.0) || alpha > 1.0) {
+            const double alpha = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || !(alpha > 0.0) ||
+                alpha > 1.0) {
                 std::fprintf(stderr,
                              "powermove: --alpha must be in (0, 1], got "
                              "'%s'\n",
-                             text);
+                             text.c_str());
                 return false;
             }
             cli.compiler.stage_order_alpha = alpha;
-        } else if (std::strcmp(arg, "--placement") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "powermove: --placement requires a value\n");
+        } else if (arg == "--placement") {
+            if (!take_value("--placement", i, text))
                 return false;
-            }
-            if (!parsePlacementStrategy(argv[++i], cli.compiler.placement)) {
+            if (!parsePlacementStrategy(text, cli.compiler.placement)) {
                 std::fprintf(stderr,
                              "powermove: unknown placement '%s' (expected "
                              "row-major, column-interleaved, or "
                              "usage-frequency)\n",
-                             argv[i]);
+                             text.c_str());
                 return false;
             }
-        } else if (std::strcmp(arg, "--batch-policy") == 0) {
-            if (i + 1 >= argc) {
+        } else if (arg == "--routing") {
+            if (!take_value("--routing", i, text))
+                return false;
+            if (!parseRoutingStrategy(text, cli.compiler.routing)) {
                 std::fprintf(stderr,
-                             "powermove: --batch-policy requires a value\n");
+                             "powermove: unknown routing '%s' (expected "
+                             "continuous or reuse)\n",
+                             text.c_str());
                 return false;
             }
-            if (!parseAodBatchPolicy(argv[++i],
-                                     cli.compiler.aod_batch_policy)) {
+        } else if (arg == "--batch-policy") {
+            if (!take_value("--batch-policy", i, text))
+                return false;
+            if (!parseAodBatchPolicy(text, cli.compiler.aod_batch_policy)) {
                 std::fprintf(stderr,
                              "powermove: unknown batch policy '%s' (expected "
                              "in-order or duration-balanced)\n",
-                             argv[i]);
+                             text.c_str());
                 return false;
             }
-        } else if (std::strcmp(arg, "--profile") == 0) {
+        } else if (arg == "--profile") {
             cli.print_profile = true;
-        } else if (std::strcmp(arg, "--no-storage") == 0) {
+        } else if (arg == "--no-storage") {
             cli.compiler.use_storage = false;
-        } else if (std::strcmp(arg, "--fuse") == 0) {
+        } else if (arg == "--fuse") {
             cli.fuse = true;
-        } else if (std::strcmp(arg, "--no-json") == 0) {
+        } else if (arg == "--no-json") {
             cli.emit_json = false;
-        } else if (std::strcmp(arg, "--stats") == 0) {
+        } else if (arg == "--stats") {
             cli.print_stats = true;
-        } else if (std::strcmp(arg, "--out-dir") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "powermove: --out-dir requires a value\n");
+        } else if (arg == "--out-dir") {
+            if (!take_value("--out-dir", i, text))
                 return false;
-            }
-            cli.out_dir = argv[++i];
-        } else if (arg[0] == '-' && arg[1] != '\0') {
-            std::fprintf(stderr, "powermove: unknown option '%s'\n", arg);
+            cli.out_dir = text;
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            std::fprintf(stderr, "powermove: unknown option '%s'\n",
+                         arg.c_str());
             printUsage(stderr);
             return false;
         } else {
