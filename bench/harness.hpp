@@ -6,6 +6,7 @@
 #ifndef POWERMOVE_BENCH_HARNESS_HPP
 #define POWERMOVE_BENCH_HARNESS_HPP
 
+#include <chrono>
 #include <string>
 
 #include "compiler/powermove.hpp"
@@ -23,9 +24,13 @@ struct TrioResult
 };
 
 /**
- * Compiles repeatedly and keeps the best wall-clock compile time: at
+ * Compiles repeatedly and keeps the fastest run whole — compile time,
+ * schedule, and pass profiles from the same best run: at
  * sub-millisecond scales single-shot timings are dominated by cold
- * caches and first-touch page faults.
+ * caches and first-touch page faults, and mixing one run's profiles
+ * with another's total would misattribute the difference. Every
+ * non-timing field is deterministic across the repeats, so only the
+ * timings actually vary.
  */
 template <typename CompileFn>
 CompileResult
@@ -34,8 +39,33 @@ compileBestOf(CompileFn &&compile, int repeats = 3)
     CompileResult best = compile();
     for (int i = 1; i < repeats; ++i) {
         CompileResult next = compile();
-        next.compile_time = std::min(next.compile_time, best.compile_time);
-        best = std::move(next);
+        if (next.compile_time.micros() < best.compile_time.micros())
+            best = std::move(next);
+    }
+    return best;
+}
+
+/**
+ * Min-of-N wall clock of fn(), in microseconds, on steady_clock — the
+ * monotonic clock. Shared CI runners both adjust the system clock (so
+ * non-monotonic clocks can jump mid-measurement) and preempt noisily
+ * (so a mean smears scheduler hiccups into the number); the minimum of
+ * repeated monotonic timings is the stable statistic the regression
+ * gate trends on.
+ */
+template <typename Fn>
+double
+minOfNWallMicros(Fn &&fn, int repeats = 3)
+{
+    double best = 0.0;
+    for (int i = 0; i < repeats; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        const double micros =
+            std::chrono::duration<double, std::micro>(stop - start).count();
+        if (i == 0 || micros < best)
+            best = micros;
     }
     return best;
 }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "compiler/powermove.hpp"
+#include "harness.hpp"
 #include "report/summary.hpp"
 #include "report/table.hpp"
 #include "workloads/suite.hpp"
@@ -42,12 +43,8 @@ main()
             options.use_storage = use_storage;
             const PowerMoveCompiler compiler(machine, options);
 
-            CompileResult best = compiler.compile(circuit);
-            for (int r = 1; r < kRepeats; ++r) {
-                CompileResult next = compiler.compile(circuit);
-                if (next.compile_time.micros() < best.compile_time.micros())
-                    best = std::move(next);
-            }
+            const CompileResult best = bench::compileBestOf(
+                [&] { return compiler.compile(circuit); }, kRepeats);
 
             const PassProfile *hottest = nullptr;
             for (const PassProfile &profile : best.pass_profiles) {

@@ -58,6 +58,14 @@ struct CompilerOptions
     PlacementStrategy placement = PlacementStrategy::RowMajor;
 
     /**
+     * Local-search budget of the routing-aware placement: the maximum
+     * number of refinement sweeps over relocations and pair swaps after
+     * the greedy layout (0 = greedy only; the search stops early when a
+     * sweep improves nothing). Ignored by every other placement.
+     */
+    std::uint32_t placement_refine_iters = 32;
+
+    /**
      * Stage ordering within each CZ block. ZoneAware runs the Sec. 4.2
      * stage scheduler; AsPartitioned keeps the raw edge-coloring order
      * (the component-ablation baseline).

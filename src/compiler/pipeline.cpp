@@ -1,12 +1,14 @@
 #include "compiler/pipeline.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "collsched/intra_stage.hpp"
 #include "collsched/multi_aod.hpp"
 #include "common/error.hpp"
 #include "fidelity/evaluator.hpp"
+#include "placement/routing_aware.hpp"
 #include "route/grouping.hpp"
 #include "schedule/stage_partition.hpp"
 
@@ -20,7 +22,8 @@ class RowMajorPlacement final : public PlacementMethod
 {
   public:
     void
-    place(Layout &layout, ZoneKind zone, const Circuit &) const override
+    place(Layout &layout, ZoneKind zone, const Circuit &,
+          PassProfiler &) const override
     {
         placeRowMajor(layout, zone);
     }
@@ -30,7 +33,8 @@ class ColumnInterleavedPlacement final : public PlacementMethod
 {
   public:
     void
-    place(Layout &layout, ZoneKind zone, const Circuit &) const override
+    place(Layout &layout, ZoneKind zone, const Circuit &,
+          PassProfiler &) const override
     {
         placeColumnInterleaved(layout, zone);
     }
@@ -40,7 +44,8 @@ class UsageFrequencyPlacement final : public PlacementMethod
 {
   public:
     void
-    place(Layout &layout, ZoneKind zone, const Circuit &circuit) const override
+    place(Layout &layout, ZoneKind zone, const Circuit &circuit,
+          PassProfiler &) const override
     {
         // Weight = CZ-gate count: each CZ forces the qubit toward the
         // compute zone, so heavy qubits should start nearest to it.
@@ -56,6 +61,41 @@ class UsageFrequencyPlacement final : public PlacementMethod
         }
         placeByUsageFrequency(layout, zone, weights);
     }
+};
+
+class RoutingAwarePlacement final : public PlacementMethod
+{
+  public:
+    explicit RoutingAwarePlacement(std::uint32_t refine_iters)
+        : options_{refine_iters}
+    {}
+
+    void
+    place(Layout &layout, ZoneKind zone, const Circuit &circuit,
+          PassProfiler &profiler) const override
+    {
+        RoutingAwarePlacementReport report;
+        placeRoutingAware(layout, zone, circuit, options_, &report);
+        // Strategy-specific counters (kept off the default profile, as
+        // with the reuse routing counters): the weighted interaction
+        // distance before and after refinement, x1000 to survive the
+        // integer counter format, plus the local-search effort.
+        profiler.addCounter(
+            PassId::Placement, "initial_weighted_dist_x1000",
+            static_cast<std::uint64_t>(
+                std::llround(report.initial_weighted_distance * 1000.0)));
+        profiler.addCounter(
+            PassId::Placement, "refined_weighted_dist_x1000",
+            static_cast<std::uint64_t>(
+                std::llround(report.refined_weighted_distance * 1000.0)));
+        profiler.addCounter(PassId::Placement, "refine_sweeps",
+                            report.refine_sweeps);
+        profiler.addCounter(PassId::Placement, "refine_moves",
+                            report.refine_moves);
+    }
+
+  private:
+    RoutingAwarePlacementOptions options_;
 };
 
 // -------------------------------------------------- stage-order strategies
@@ -106,7 +146,7 @@ class StorageDwellCollMoveOrder final : public CollMoveOrderMethod
 } // namespace
 
 std::unique_ptr<const PlacementMethod>
-makePlacementMethod(PlacementStrategy strategy)
+makePlacementMethod(PlacementStrategy strategy, std::uint32_t refine_iters)
 {
     switch (strategy) {
     case PlacementStrategy::RowMajor:
@@ -115,6 +155,8 @@ makePlacementMethod(PlacementStrategy strategy)
         return std::make_unique<ColumnInterleavedPlacement>();
     case PlacementStrategy::UsageFrequency:
         return std::make_unique<UsageFrequencyPlacement>();
+    case PlacementStrategy::RoutingAware:
+        return std::make_unique<RoutingAwarePlacement>(refine_iters);
     }
     fatal("unknown placement strategy");
 }
@@ -145,8 +187,9 @@ makeCollMoveOrderMethod(CollMoveOrderStrategy strategy)
 
 // ------------------------------------------------------------------- passes
 
-PlacementPass::PlacementPass(PlacementStrategy strategy)
-    : method_(makePlacementMethod(strategy))
+PlacementPass::PlacementPass(PlacementStrategy strategy,
+                             std::uint32_t refine_iters)
+    : method_(makePlacementMethod(strategy, refine_iters))
 {}
 
 void
@@ -158,15 +201,14 @@ PlacementPass::run(PipelineContext &ctx) const
     // everything starts in the compute zone instead.
     const ZoneKind zone =
         ctx.options.use_storage ? ZoneKind::Storage : ZoneKind::Compute;
-    method_->place(ctx.layout, zone, ctx.circuit);
+    ctx.profiler.addCounter(PassId::Placement, "qubits_placed",
+                            ctx.circuit.numQubits());
+    method_->place(ctx.layout, zone, ctx.circuit, ctx.profiler);
 
     std::vector<SiteId> initial_sites(ctx.circuit.numQubits());
     for (QubitId q = 0; q < ctx.circuit.numQubits(); ++q)
         initial_sites[q] = ctx.layout.siteOf(q);
     ctx.schedule.emplace(ctx.machine, std::move(initial_sites));
-
-    ctx.profiler.addCounter(PassId::Placement, "qubits_placed",
-                            ctx.circuit.numQubits());
 }
 
 std::vector<Stage>
@@ -316,7 +358,8 @@ Pipeline::run(const Circuit &circuit) const
                         Rng(options_.seed),
                         PassProfiler(options_.profile_passes)};
 
-    const PlacementPass placement(options_.placement);
+    const PlacementPass placement(options_.placement,
+                                  options_.placement_refine_iters);
     const StagePartitionPass partition;
     const StageOrderPass stage_order(options_.stage_order);
     RoutingPass routing(ctx);

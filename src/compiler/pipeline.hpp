@@ -75,9 +75,15 @@ class PlacementMethod
 {
   public:
     virtual ~PlacementMethod() = default;
-    /** Places every unplaced qubit of @p layout into @p zone. */
-    virtual void place(Layout &layout, ZoneKind zone,
-                       const Circuit &circuit) const = 0;
+    /**
+     * Places every unplaced qubit of @p layout into @p zone. Methods
+     * with strategy-specific measurements publish them as PassId::
+     * Placement counters on @p profiler (the pass wrapper owns the
+     * timing scope and the shared counters); the simple layouts leave
+     * it untouched.
+     */
+    virtual void place(Layout &layout, ZoneKind zone, const Circuit &circuit,
+                       PassProfiler &profiler) const = 0;
 };
 
 /** Strategy interface of the StageOrderPass. */
@@ -100,9 +106,12 @@ class CollMoveOrderMethod
         const = 0;
 };
 
-/** Factory for the selected placement algorithm. */
+/**
+ * Factory for the selected placement algorithm. @p refine_iters is the
+ * routing-aware local-search budget (ignored by the other strategies).
+ */
 std::unique_ptr<const PlacementMethod>
-makePlacementMethod(PlacementStrategy strategy);
+makePlacementMethod(PlacementStrategy strategy, std::uint32_t refine_iters);
 
 /** Factory for the selected stage-order algorithm. */
 std::unique_ptr<const StageOrderMethod>
@@ -122,7 +131,7 @@ makeCollMoveOrderMethod(CollMoveOrderStrategy strategy);
 class PlacementPass
 {
   public:
-    explicit PlacementPass(PlacementStrategy strategy);
+    PlacementPass(PlacementStrategy strategy, std::uint32_t refine_iters);
     void run(PipelineContext &ctx) const;
 
   private:

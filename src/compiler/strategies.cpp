@@ -12,6 +12,8 @@ placementStrategyName(PlacementStrategy strategy)
         return "column-interleaved";
     case PlacementStrategy::UsageFrequency:
         return "usage-frequency";
+    case PlacementStrategy::RoutingAware:
+        return "routing-aware";
     }
     return "unknown";
 }
@@ -57,7 +59,8 @@ parsePlacementStrategy(std::string_view text, PlacementStrategy &out)
 {
     for (const auto strategy :
          {PlacementStrategy::RowMajor, PlacementStrategy::ColumnInterleaved,
-          PlacementStrategy::UsageFrequency}) {
+          PlacementStrategy::UsageFrequency,
+          PlacementStrategy::RoutingAware}) {
         if (text == placementStrategyName(strategy)) {
             out = strategy;
             return true;
@@ -141,7 +144,8 @@ strategyCatalog()
          "--placement",
          {placementStrategyName(PlacementStrategy::RowMajor),
           placementStrategyName(PlacementStrategy::ColumnInterleaved),
-          placementStrategyName(PlacementStrategy::UsageFrequency)}},
+          placementStrategyName(PlacementStrategy::UsageFrequency),
+          placementStrategyName(PlacementStrategy::RoutingAware)}},
         {"routing",
          "--routing",
          {routingStrategyName(RoutingStrategy::Continuous),

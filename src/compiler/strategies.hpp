@@ -42,6 +42,15 @@ enum class PlacementStrategy : std::uint8_t
      * cross the inter-zone gap most often.
      */
     UsageFrequency,
+    /**
+     * Routing-aware (Stade et al., src/placement/): interacting qubits
+     * are placed near each other by a greedy grow-from-seed layout over
+     * the circuit's weighted interaction graph, then refined by up to
+     * CompilerOptions::placement_refine_iters local-search sweeps, so
+     * the move distance routing later pays is minimized before routing
+     * ever runs.
+     */
+    RoutingAware,
 };
 
 /** How stages of one commutable CZ block are ordered. */

@@ -1,0 +1,101 @@
+#include "placement/cost_model.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace powermove {
+
+PlacementCostModel::PlacementCostModel(const Machine &machine, ZoneKind zone)
+    : sites_(zone == ZoneKind::Compute ? machine.computeSites()
+                                       : machine.storageSites())
+{
+    PM_ASSERT(!sites_.empty(), "zone has no sites");
+    coords_.reserve(sites_.size());
+    for (const SiteId site : sites_)
+        coords_.push_back(machine.coordOf(site));
+
+    // Growth anchor: storage grows from the middle of its compute-facing
+    // row (short first retrievals *and* compact pairs); the compute zone
+    // — used only in the storage-free flow, where no inter-zone shuttle
+    // exists — grows from its center (compact pairs only).
+    std::int32_t min_x = std::numeric_limits<std::int32_t>::max();
+    std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
+    std::int32_t min_y = std::numeric_limits<std::int32_t>::max();
+    std::int32_t max_y = std::numeric_limits<std::int32_t>::min();
+    for (const SiteCoord coord : coords_) {
+        min_x = std::min(min_x, coord.x);
+        max_x = std::max(max_x, coord.x);
+        min_y = std::min(min_y, coord.y);
+        max_y = std::max(max_y, coord.y);
+    }
+    const SiteCoord target{(min_x + max_x) / 2,
+                           zone == ZoneKind::Storage ? min_y
+                                                     : (min_y + max_y) / 2};
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t slot = 0; slot < coords_.size(); ++slot) {
+        const std::int64_t d = manhattan(coords_[slot], target);
+        if (d < best) {
+            best = d;
+            anchor_slot_ = slot;
+        }
+    }
+}
+
+double
+PlacementCostModel::weightedDistance(
+    const InteractionGraph &graph,
+    const std::vector<std::uint32_t> &slot_of) const
+{
+    double cost = 0.0;
+    for (const InteractionEdge &edge : graph.edges()) {
+        const std::uint32_t sa = slot_of[edge.a];
+        const std::uint32_t sb = slot_of[edge.b];
+        PM_ASSERT(sa != kUnassignedSlot && sb != kUnassignedSlot,
+                  "interacting qubit left unassigned");
+        cost += edge.weight * static_cast<double>(slotDistance(sa, sb));
+    }
+    return cost;
+}
+
+double
+PlacementCostModel::swapDelta(const InteractionGraph &graph,
+                              const std::vector<std::uint32_t> &slot_of,
+                              QubitId u, QubitId v) const
+{
+    const std::uint32_t su = slot_of[u];
+    const std::uint32_t sv = slot_of[v];
+    double delta = 0.0;
+    for (const InteractionNeighbor &n : graph.neighbors(u)) {
+        if (n.neighbor == v)
+            continue; // the u-v distance is invariant under the swap
+        const std::uint32_t sn = slot_of[n.neighbor];
+        delta += n.weight * static_cast<double>(slotDistance(sv, sn) -
+                                                slotDistance(su, sn));
+    }
+    for (const InteractionNeighbor &n : graph.neighbors(v)) {
+        if (n.neighbor == u)
+            continue;
+        const std::uint32_t sn = slot_of[n.neighbor];
+        delta += n.weight * static_cast<double>(slotDistance(su, sn) -
+                                                slotDistance(sv, sn));
+    }
+    return delta;
+}
+
+double
+PlacementCostModel::relocateDelta(const InteractionGraph &graph,
+                                  const std::vector<std::uint32_t> &slot_of,
+                                  QubitId u, std::uint32_t target) const
+{
+    const std::uint32_t su = slot_of[u];
+    double delta = 0.0;
+    for (const InteractionNeighbor &n : graph.neighbors(u)) {
+        const std::uint32_t sn = slot_of[n.neighbor];
+        delta += n.weight * static_cast<double>(slotDistance(target, sn) -
+                                                slotDistance(su, sn));
+    }
+    return delta;
+}
+
+} // namespace powermove

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Interaction-distance cost model over one zone of the zoned grid.
+ *
+ * Placement quality is scored as the sum over interaction-graph edges
+ * of edge weight times the Manhattan distance (in sites) between the
+ * two qubits' assigned slots. Manhattan in lattice units matches what
+ * routing later pays: a stage transition shuttles each atom along the
+ * row/column raster of the trap plane, so pairs placed close under
+ * this metric need short Coll-Moves to meet.
+ *
+ * Assignments are expressed in zone *slots* — indices into the zone's
+ * row-major site list — so the model is oblivious to which zone it
+ * scores and swap deltas never touch the Machine.
+ */
+
+#ifndef POWERMOVE_PLACEMENT_COST_MODEL_HPP
+#define POWERMOVE_PLACEMENT_COST_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine.hpp"
+#include "common/geometry.hpp"
+#include "placement/interaction_graph.hpp"
+
+namespace powermove {
+
+/** Sentinel slot for "qubit not assigned yet". */
+inline constexpr std::uint32_t kUnassignedSlot = ~std::uint32_t{0};
+
+/** Weighted-Manhattan scoring over the slots of one zone. */
+class PlacementCostModel
+{
+  public:
+    /** Caches the row-major site list and coordinates of @p zone. */
+    PlacementCostModel(const Machine &machine, ZoneKind zone);
+
+    /** Number of slots (= sites) in the zone. */
+    std::size_t numSlots() const { return sites_.size(); }
+
+    /** Zone sites, row-major; slot i corresponds to sites()[i]. */
+    const std::vector<SiteId> &sites() const { return sites_; }
+
+    /** Lattice coordinate of @p slot. */
+    SiteCoord coordOf(std::uint32_t slot) const { return coords_[slot]; }
+
+    /** Manhattan distance between two slots, in sites. */
+    std::int64_t
+    slotDistance(std::uint32_t a, std::uint32_t b) const
+    {
+        return manhattan(coords_[a], coords_[b]);
+    }
+
+    /**
+     * The slot nearest to the zone's entry anchor — the middle of the
+     * row closest to the other zone (storage's first row faces compute
+     * and vice versa), where the greedy layout seeds its growth.
+     */
+    std::uint32_t anchorSlot() const { return anchor_slot_; }
+
+    /**
+     * Total weighted distance of @p slot_of (qubit -> slot; every qubit
+     * with an incident edge must be assigned).
+     */
+    double weightedDistance(const InteractionGraph &graph,
+                            const std::vector<std::uint32_t> &slot_of) const;
+
+    /**
+     * Cost change from swapping the slots of @p u and @p v under
+     * @p slot_of (negative = improvement). The u-v edge, if any, is
+     * unaffected and ignored.
+     */
+    double swapDelta(const InteractionGraph &graph,
+                     const std::vector<std::uint32_t> &slot_of, QubitId u,
+                     QubitId v) const;
+
+    /**
+     * Cost change from relocating @p u to the free slot @p target
+     * (negative = improvement).
+     */
+    double relocateDelta(const InteractionGraph &graph,
+                         const std::vector<std::uint32_t> &slot_of, QubitId u,
+                         std::uint32_t target) const;
+
+  private:
+    std::vector<SiteId> sites_;
+    std::vector<SiteCoord> coords_;
+    std::uint32_t anchor_slot_ = 0;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_PLACEMENT_COST_MODEL_HPP

@@ -1,0 +1,44 @@
+#include "placement/interaction_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <variant>
+
+namespace powermove {
+
+InteractionGraph
+InteractionGraph::build(const Circuit &circuit)
+{
+    InteractionGraph graph;
+    graph.incident_weight_.assign(circuit.numQubits(), 0.0);
+    graph.adjacency_.resize(circuit.numQubits());
+
+    // Accumulate pair weights in a sorted map so edge order (and with it
+    // every downstream tie-break) is independent of gate order.
+    std::map<std::pair<QubitId, QubitId>, double> pair_weight;
+    std::size_t block_index = 0;
+    for (const Moment &moment : circuit.moments()) {
+        const auto *block = std::get_if<CzBlock>(&moment);
+        if (block == nullptr)
+            continue;
+        const double weight = 1.0 / (1.0 + static_cast<double>(block_index));
+        for (const CzGate &gate : block->gates) {
+            const auto key = std::minmax(gate.a, gate.b);
+            pair_weight[{key.first, key.second}] += weight;
+        }
+        ++block_index;
+    }
+
+    graph.edges_.reserve(pair_weight.size());
+    for (const auto &[pair, weight] : pair_weight) {
+        graph.edges_.push_back({pair.first, pair.second, weight});
+        graph.adjacency_[pair.first].push_back({pair.second, weight});
+        graph.adjacency_[pair.second].push_back({pair.first, weight});
+        graph.incident_weight_[pair.first] += weight;
+        graph.incident_weight_[pair.second] += weight;
+    }
+    return graph;
+}
+
+} // namespace powermove

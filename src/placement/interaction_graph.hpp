@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Weighted qubit-pair interaction graph of a circuit.
+ *
+ * Routing-aware placement (Stade et al., "Routing-Aware Placement for
+ * Zoned Neutral Atom-based Quantum Computing") needs one summary of the
+ * program per qubit pair: how soon and how often do these two qubits
+ * interact? The graph aggregates every CZ gate into one edge per pair,
+ * discounting later blocks — the first block's transitions are paid
+ * from the *initial* layout, so its pairs dominate the placement cost,
+ * while pairs that only meet many blocks later are almost decoupled
+ * from where they start (routing has rearranged everything by then).
+ *
+ * Edge weight: sum over the pair's CZ gates of 1 / (1 + block index).
+ */
+
+#ifndef POWERMOVE_PLACEMENT_INTERACTION_GRAPH_HPP
+#define POWERMOVE_PLACEMENT_INTERACTION_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/gate.hpp"
+
+namespace powermove {
+
+/** One aggregated qubit-pair interaction (a < b). */
+struct InteractionEdge
+{
+    QubitId a = 0;
+    QubitId b = 0;
+    /** Soonness-discounted interaction count (see file header). */
+    double weight = 0.0;
+};
+
+/** A qubit's view of one incident interaction edge. */
+struct InteractionNeighbor
+{
+    QubitId neighbor = 0;
+    double weight = 0.0;
+};
+
+/** Aggregated pair-interaction structure of one circuit. */
+class InteractionGraph
+{
+  public:
+    /** Builds the graph from every CZ block of @p circuit. */
+    static InteractionGraph build(const Circuit &circuit);
+
+    std::size_t numQubits() const { return incident_weight_.size(); }
+
+    /** Every pair edge, ordered by (a, b). */
+    const std::vector<InteractionEdge> &edges() const { return edges_; }
+
+    /** Incident edges of @p qubit, ordered by neighbor id. */
+    const std::vector<InteractionNeighbor> &neighbors(QubitId qubit) const
+    {
+        return adjacency_[qubit];
+    }
+
+    /** Total weight incident to @p qubit (0 for an isolated qubit). */
+    double incidentWeight(QubitId qubit) const
+    {
+        return incident_weight_[qubit];
+    }
+
+    /** True if no pair of qubits ever interacts. */
+    bool empty() const { return edges_.empty(); }
+
+  private:
+    std::vector<InteractionEdge> edges_;
+    std::vector<std::vector<InteractionNeighbor>> adjacency_;
+    std::vector<double> incident_weight_;
+};
+
+} // namespace powermove
+
+#endif // POWERMOVE_PLACEMENT_INTERACTION_GRAPH_HPP

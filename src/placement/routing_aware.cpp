@@ -1,0 +1,241 @@
+#include "placement/routing_aware.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "placement/cost_model.hpp"
+#include "placement/interaction_graph.hpp"
+
+namespace powermove {
+
+namespace {
+
+constexpr double kImproveEps = 1e-9;
+
+/** Greedy grow-from-seed layout; returns qubit -> slot. */
+std::vector<std::uint32_t>
+greedyGrow(const InteractionGraph &graph, const PlacementCostModel &model,
+           std::size_t num_qubits)
+{
+    std::vector<std::uint32_t> slot_of(num_qubits, kUnassignedSlot);
+    std::vector<char> slot_free(model.numSlots(), 1);
+    // Attachment weight of each unplaced qubit to the placed set.
+    std::vector<double> attach(num_qubits, 0.0);
+    const SiteCoord anchor = model.coordOf(model.anchorSlot());
+
+    const auto nearest_free = [&](SiteCoord target) {
+        std::uint32_t best_slot = kUnassignedSlot;
+        std::int64_t best = std::numeric_limits<std::int64_t>::max();
+        for (std::uint32_t slot = 0; slot < model.numSlots(); ++slot) {
+            if (!slot_free[slot])
+                continue;
+            const std::int64_t d = manhattan(model.coordOf(slot), target);
+            if (d < best) {
+                best = d;
+                best_slot = slot;
+            }
+        }
+        return best_slot;
+    };
+
+    const auto assign = [&](QubitId qubit, std::uint32_t slot) {
+        slot_of[qubit] = slot;
+        slot_free[slot] = 0;
+        for (const InteractionNeighbor &n : graph.neighbors(qubit))
+            attach[n.neighbor] += n.weight;
+    };
+
+    std::size_t remaining = 0;
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        if (graph.incidentWeight(q) > 0.0)
+            ++remaining;
+    }
+
+    while (remaining > 0) {
+        // The unplaced qubit most attached to the placed set; ties go to
+        // the heavier qubit, then the lower id. attach == 0 everywhere
+        // means a fresh connected component: seed it by total weight.
+        QubitId next = kNoQubit;
+        for (QubitId q = 0; q < num_qubits; ++q) {
+            if (slot_of[q] != kUnassignedSlot ||
+                graph.incidentWeight(q) == 0.0)
+                continue;
+            if (next == kNoQubit || attach[q] > attach[next] ||
+                (attach[q] == attach[next] &&
+                 graph.incidentWeight(q) > graph.incidentWeight(next)))
+                next = q;
+        }
+
+        std::uint32_t slot = kUnassignedSlot;
+        if (attach[next] == 0.0) {
+            // Component seed: closest free slot to the zone anchor.
+            slot = nearest_free(anchor);
+        } else {
+            // Free slot minimizing the weighted distance to the already
+            // placed neighbors; ties go to the anchor-nearest slot, then
+            // the lower slot index.
+            double best_cost = std::numeric_limits<double>::infinity();
+            std::int64_t best_anchor_d = 0;
+            for (std::uint32_t candidate = 0; candidate < model.numSlots();
+                 ++candidate) {
+                if (!slot_free[candidate])
+                    continue;
+                double cost = 0.0;
+                for (const InteractionNeighbor &n : graph.neighbors(next)) {
+                    if (slot_of[n.neighbor] == kUnassignedSlot)
+                        continue;
+                    cost += n.weight *
+                            static_cast<double>(model.slotDistance(
+                                candidate, slot_of[n.neighbor]));
+                }
+                const std::int64_t anchor_d =
+                    manhattan(model.coordOf(candidate), anchor);
+                if (cost < best_cost ||
+                    (cost == best_cost && anchor_d < best_anchor_d)) {
+                    best_cost = cost;
+                    best_anchor_d = anchor_d;
+                    slot = candidate;
+                }
+            }
+        }
+        PM_ASSERT(slot != kUnassignedSlot, "no free slot for placement");
+        assign(next, slot);
+        --remaining;
+    }
+
+    // Isolated qubits keep row-major order over the remaining free slots,
+    // so a CZ-free circuit reproduces placeRowMajor() exactly.
+    std::uint32_t cursor = 0;
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        if (slot_of[q] != kUnassignedSlot)
+            continue;
+        while (!slot_free[cursor])
+            ++cursor;
+        assign(q, cursor);
+    }
+    return slot_of;
+}
+
+/**
+ * Bounded first-improvement local search: per sweep, try relocating
+ * each interacting qubit to every free slot, then swapping every
+ * interacting pair, applying each change that strictly lowers the
+ * weighted distance. Returns the running cost after each sweep.
+ */
+double
+refine(const InteractionGraph &graph, const PlacementCostModel &model,
+       std::vector<std::uint32_t> &slot_of, double cost,
+       std::uint32_t max_sweeps, RoutingAwarePlacementReport *report)
+{
+    std::vector<char> slot_free(model.numSlots(), 1);
+    for (const std::uint32_t slot : slot_of)
+        slot_free[slot] = 0;
+
+    std::vector<QubitId> active;
+    for (QubitId q = 0; q < slot_of.size(); ++q) {
+        if (graph.incidentWeight(q) > 0.0)
+            active.push_back(q);
+    }
+
+    for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool improved = false;
+
+        for (const QubitId q : active) {
+            // Best-improvement relocation for this qubit.
+            std::uint32_t best_slot = kUnassignedSlot;
+            double best_delta = -kImproveEps;
+            for (std::uint32_t slot = 0; slot < model.numSlots(); ++slot) {
+                if (!slot_free[slot])
+                    continue;
+                const double delta =
+                    model.relocateDelta(graph, slot_of, q, slot);
+                if (delta < best_delta) {
+                    best_delta = delta;
+                    best_slot = slot;
+                }
+            }
+            if (best_slot != kUnassignedSlot) {
+                slot_free[slot_of[q]] = 1;
+                slot_free[best_slot] = 0;
+                slot_of[q] = best_slot;
+                cost += best_delta;
+                improved = true;
+                if (report != nullptr)
+                    ++report->refine_moves;
+            }
+        }
+
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            for (std::size_t j = i + 1; j < active.size(); ++j) {
+                const QubitId u = active[i];
+                const QubitId v = active[j];
+                const double delta = model.swapDelta(graph, slot_of, u, v);
+                if (delta < -kImproveEps) {
+                    std::swap(slot_of[u], slot_of[v]);
+                    cost += delta;
+                    improved = true;
+                    if (report != nullptr)
+                        ++report->refine_moves;
+                }
+            }
+        }
+
+        if (report != nullptr) {
+            ++report->refine_sweeps;
+            report->sweep_costs.push_back(cost);
+        }
+        if (!improved)
+            break;
+    }
+    return cost;
+}
+
+} // namespace
+
+std::vector<SiteId>
+routingAwareAssignment(const Machine &machine, ZoneKind zone,
+                       const Circuit &circuit,
+                       const RoutingAwarePlacementOptions &options,
+                       RoutingAwarePlacementReport *report)
+{
+    const PlacementCostModel model(machine, zone);
+    if (circuit.numQubits() > model.numSlots())
+        fatal("zone too small to hold " +
+              std::to_string(circuit.numQubits()) + " qubits (" +
+              std::to_string(model.numSlots()) + " sites)");
+
+    const InteractionGraph graph = InteractionGraph::build(circuit);
+    std::vector<std::uint32_t> slot_of =
+        greedyGrow(graph, model, circuit.numQubits());
+
+    double cost = model.weightedDistance(graph, slot_of);
+    if (report != nullptr) {
+        *report = {};
+        report->initial_weighted_distance = cost;
+    }
+    if (!graph.empty())
+        cost = refine(graph, model, slot_of, cost, options.refine_iters,
+                      report);
+    if (report != nullptr)
+        report->refined_weighted_distance = cost;
+
+    std::vector<SiteId> assignment(circuit.numQubits());
+    for (QubitId q = 0; q < circuit.numQubits(); ++q)
+        assignment[q] = model.sites()[slot_of[q]];
+    return assignment;
+}
+
+void
+placeRoutingAware(Layout &layout, ZoneKind zone, const Circuit &circuit,
+                  const RoutingAwarePlacementOptions &options,
+                  RoutingAwarePlacementReport *report)
+{
+    PM_ASSERT(layout.numQubits() == circuit.numQubits(),
+              "layout/circuit qubit count mismatch");
+    const auto assignment = routingAwareAssignment(layout.machine(), zone,
+                                                   circuit, options, report);
+    for (QubitId q = 0; q < layout.numQubits(); ++q)
+        layout.place(q, assignment[q]);
+}
+
+} // namespace powermove

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Routing-aware initial placement (Stade et al.).
+ *
+ * The frequency-ranked placements shorten each busy qubit's shuttle to
+ * the compute zone but leave the *pairwise* move distance — what the
+ * routing pass actually pays per stage transition — invisible. This
+ * method places interacting qubits near each other instead:
+ *
+ *  1. Build the circuit's interaction graph (placement/
+ *     interaction_graph.hpp): one edge per qubit pair, weighted by how
+ *     soon and how often the pair interacts.
+ *  2. Grow a layout greedily from a seed: the heaviest qubit takes the
+ *     slot nearest the zone's anchor, then the unplaced qubit most
+ *     attached to the placed set repeatedly takes the free slot
+ *     minimizing its weighted distance to its placed neighbors.
+ *  3. Refine with a bounded local search: sweep relocations (to free
+ *     slots) and pair swaps, applying every change that lowers the
+ *     total weighted Manhattan distance, for at most refine_iters
+ *     sweeps or until a sweep improves nothing.
+ *
+ * The whole method is deterministic — no RNG is consumed — so a fixed
+ * (circuit, machine, options) triple always yields the same layout.
+ * Qubits that never interact keep their row-major slots (in ascending
+ * id order over the slots the greedy phase left free), so a circuit
+ * with no CZ gates reproduces the row-major placement exactly.
+ */
+
+#ifndef POWERMOVE_PLACEMENT_ROUTING_AWARE_HPP
+#define POWERMOVE_PLACEMENT_ROUTING_AWARE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layout.hpp"
+#include "arch/machine.hpp"
+#include "circuit/circuit.hpp"
+
+namespace powermove {
+
+/** Knobs of the routing-aware placement. */
+struct RoutingAwarePlacementOptions
+{
+    /**
+     * Maximum local-search sweeps after the greedy layout (0 = greedy
+     * only). Each sweep tries every relocation and pair swap once; the
+     * search stops early when a sweep improves nothing.
+     */
+    std::uint32_t refine_iters = 32;
+};
+
+/** What the placement did, for pass counters and tests. */
+struct RoutingAwarePlacementReport
+{
+    /** Weighted distance of the greedy layout, before refinement. */
+    double initial_weighted_distance = 0.0;
+    /** Weighted distance of the final layout. */
+    double refined_weighted_distance = 0.0;
+    /** Refinement sweeps actually executed. */
+    std::size_t refine_sweeps = 0;
+    /** Improving relocations + swaps applied across all sweeps. */
+    std::size_t refine_moves = 0;
+    /**
+     * Weighted distance after each sweep. Monotonically non-increasing
+     * by construction (only strictly improving changes are applied).
+     */
+    std::vector<double> sweep_costs;
+};
+
+/**
+ * Computes the routing-aware site assignment (qubit -> site) into
+ * @p zone. Throws ConfigError when the zone cannot hold the circuit.
+ */
+std::vector<SiteId>
+routingAwareAssignment(const Machine &machine, ZoneKind zone,
+                       const Circuit &circuit,
+                       const RoutingAwarePlacementOptions &options = {},
+                       RoutingAwarePlacementReport *report = nullptr);
+
+/** Places every qubit of @p layout per routingAwareAssignment(). */
+void placeRoutingAware(Layout &layout, ZoneKind zone, const Circuit &circuit,
+                       const RoutingAwarePlacementOptions &options = {},
+                       RoutingAwarePlacementReport *report = nullptr);
+
+} // namespace powermove
+
+#endif // POWERMOVE_PLACEMENT_ROUTING_AWARE_HPP

@@ -85,7 +85,7 @@ fingerprintMachineConfig(const MachineConfig &config)
 // assertion until both the hash and the expected size are updated (the
 // structured-binding probe in fingerprint_test.cpp guards field *count*
 // even when padding absorbs the addition).
-static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 48,
+static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 56,
               "CompilerOptions changed: extend fingerprintOptions() with the "
               "new field, then update this expected size");
 
@@ -99,6 +99,7 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(options.stage_order_alpha);
     hash.add(options.seed);
     hash.add(static_cast<std::uint64_t>(options.placement));
+    hash.add(static_cast<std::uint64_t>(options.placement_refine_iters));
     hash.add(static_cast<std::uint64_t>(options.stage_order));
     hash.add(static_cast<std::uint64_t>(options.coll_move_order));
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));

@@ -133,6 +133,16 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     placement.placement = PlacementStrategy::ColumnInterleaved;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(placement));
 
+    CompilerOptions routing_aware = base;
+    routing_aware.placement = PlacementStrategy::RoutingAware;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(routing_aware));
+    EXPECT_NE(fingerprintOptions(placement),
+              fingerprintOptions(routing_aware));
+
+    CompilerOptions refine = base;
+    refine.placement_refine_iters += 1;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(refine));
+
     CompilerOptions stage_order = base;
     stage_order.stage_order = StageOrderStrategy::AsPartitioned;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(stage_order));
@@ -166,13 +176,15 @@ TEST(FingerprintTest, OptionFieldCountProbe)
 {
     const CompilerOptions options;
     const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
-                 stage_order, coll_move_order, aod_batch_policy, routing,
-                 reuse_lookahead, profile_passes] = options;
+                 placement_refine_iters, stage_order, coll_move_order,
+                 aod_batch_policy, routing, reuse_lookahead,
+                 profile_passes] = options;
     EXPECT_EQ(use_storage, options.use_storage);
     EXPECT_EQ(num_aods, options.num_aods);
     EXPECT_EQ(stage_order_alpha, options.stage_order_alpha);
     EXPECT_EQ(seed, options.seed);
     EXPECT_EQ(placement, options.placement);
+    EXPECT_EQ(placement_refine_iters, options.placement_refine_iters);
     EXPECT_EQ(stage_order, options.stage_order);
     EXPECT_EQ(coll_move_order, options.coll_move_order);
     EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);

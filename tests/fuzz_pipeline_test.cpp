@@ -60,6 +60,7 @@ struct FuzzCase
     std::size_t num_aods;
     RoutingStrategy routing;
     std::uint32_t reuse_lookahead;
+    PlacementStrategy placement;
 };
 
 class PipelineFuzz : public ::testing::TestWithParam<FuzzCase>
@@ -77,6 +78,10 @@ TEST_P(PipelineFuzz, PowerMoveSchedulesValidate)
     options.seed = param.seed * 17 + 3;
     options.routing = param.routing;
     options.reuse_lookahead = param.reuse_lookahead;
+    options.placement = param.placement;
+    // A tight budget still exercises greedy + refinement while keeping
+    // the case count x placement sweep cheap.
+    options.placement_refine_iters = 8;
     const PowerMoveCompiler compiler(machine, options);
     const auto result = compiler.compile(circuit);
     EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit))
@@ -114,19 +119,38 @@ makeCases()
     // The routing axis samples both strategies everywhere, plus window
     // extremes for reuse (1 = hold only for the very next stage; 16 =
     // effectively unbounded for 12-moment circuits); reuse with
-    // use_storage = false exercises the continuous fallback.
+    // use_storage = false exercises the continuous fallback. The
+    // placement axis rotates through every strategy across the cases
+    // (rather than multiplying the count by four), so each placement
+    // sees every qubit count, both zone configurations, and both
+    // routers somewhere in the sweep.
+    constexpr PlacementStrategy kPlacements[] = {
+        PlacementStrategy::RowMajor,
+        PlacementStrategy::ColumnInterleaved,
+        PlacementStrategy::UsageFrequency,
+        PlacementStrategy::RoutingAware,
+    };
     std::vector<FuzzCase> cases;
     std::uint64_t seed = 1;
+    std::size_t group = 0;
+    // Each (n, storage, aods) group appends exactly 4 cases, so a plain
+    // size-mod-4 rotation would pin each routing config to one fixed
+    // placement forever; the per-group offset de-aligns the two cycles.
+    const auto next_placement = [&] {
+        return kPlacements[(cases.size() + group) % std::size(kPlacements)];
+    };
     for (const std::size_t n : {5u, 9u, 16u, 25u, 40u}) {
         for (const bool storage : {false, true}) {
             for (const std::size_t aods : {1u, 3u}) {
                 cases.push_back(
                     {seed++, n, storage, aods, RoutingStrategy::Continuous,
-                     4});
+                     4, next_placement()});
                 for (const std::uint32_t window : {1u, 4u, 16u}) {
                     cases.push_back({seed++, n, storage, aods,
-                                     RoutingStrategy::Reuse, window});
+                                     RoutingStrategy::Reuse, window,
+                                     next_placement()});
                 }
+                ++group;
             }
         }
     }

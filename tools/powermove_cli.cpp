@@ -20,7 +20,11 @@
  *   --seed S       base RNG seed (per-job streams are derived from it)
  *   --alpha A      stage-ordering weight alpha in (0, 1] (default 0.5)
  *   --placement P  initial-layout strategy: row-major (default),
- *                  column-interleaved, or usage-frequency
+ *                  column-interleaved, usage-frequency, or
+ *                  routing-aware (interaction-distance-minimizing,
+ *                  src/placement/)
+ *   --placement-refine-iters N  routing-aware local-search budget in
+ *                  sweeps (default 32; 0 = greedy layout only)
  *   --routing R    stage-transition routing: continuous (default, the
  *                  paper's Sec. 5 router) or reuse (gate-aware atom
  *                  reuse, src/reuse/)
@@ -94,7 +98,11 @@ printUsage(std::FILE *stream)
         "  --seed S       base RNG seed (default 0xC0FFEE)\n"
         "  --alpha A      stage-ordering weight in (0, 1] (default 0.5)\n"
         "  --placement P  initial layout: row-major (default),\n"
-        "                 column-interleaved, or usage-frequency\n"
+        "                 column-interleaved, usage-frequency, or\n"
+        "                 routing-aware\n"
+        "  --placement-refine-iters N\n"
+        "                 routing-aware local-search sweeps (default 32,\n"
+        "                 0 = greedy only)\n"
         "  --routing R    stage-transition routing: continuous (default)\n"
         "                 or reuse (gate-aware atom reuse)\n"
         "  --reuse-lookahead N\n"
@@ -156,6 +164,7 @@ expandArgs(int argc, char **argv)
         "--jobs",      "--num-aods",        "--seed",
         "--alpha",     "--placement",       "--routing",
         "--reuse-lookahead", "--batch-policy", "--out-dir",
+        "--placement-refine-iters",
     };
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc));
@@ -266,11 +275,16 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!parsePlacementStrategy(text, cli.compiler.placement)) {
                 std::fprintf(stderr,
                              "powermove: unknown placement '%s' (expected "
-                             "row-major, column-interleaved, or "
-                             "usage-frequency)\n",
+                             "row-major, column-interleaved, "
+                             "usage-frequency, or routing-aware)\n",
                              text.c_str());
                 return false;
             }
+        } else if (arg == "--placement-refine-iters") {
+            if (!numeric("--placement-refine-iters", i, value))
+                return false;
+            cli.compiler.placement_refine_iters =
+                static_cast<std::uint32_t>(value);
         } else if (arg == "--routing") {
             if (!take_value("--routing", i, text))
                 return false;
