@@ -7,6 +7,7 @@
 #define POWERMOVE_BENCH_HARNESS_HPP
 
 #include <chrono>
+#include <cstdio>
 #include <string>
 
 #include "compiler/powermove.hpp"
@@ -68,6 +69,15 @@ minOfNWallMicros(Fn &&fn, int repeats = 3)
             best = micros;
     }
     return best;
+}
+
+/** snprintf into a std::string, e.g. fmt(1.5, "%.1f") == "1.5". */
+inline std::string
+fmt(double value, const char *spec)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), spec, value);
+    return buffer;
 }
 
 /**

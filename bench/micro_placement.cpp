@@ -137,13 +137,7 @@ compileOne(const Machine &machine, const Circuit &circuit,
     return run;
 }
 
-std::string
-fmt(double value, const char *spec)
-{
-    char buffer[48];
-    std::snprintf(buffer, sizeof(buffer), spec, value);
-    return buffer;
-}
+using bench::fmt;
 
 /** "name|routing|placement" — the baseline and JSON entry key. */
 std::string

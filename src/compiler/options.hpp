@@ -66,6 +66,16 @@ struct CompilerOptions
     std::uint32_t placement_refine_iters = 32;
 
     /**
+     * How each commutable CZ block is split into Rydberg stages.
+     * Coloring is the paper's Sec. 4.1 edge coloring over the
+     * materialized conflict graph; Linear reproduces that assignment
+     * bit-for-bit by a graph-free qubit scan (the fast path on deep
+     * blocks); Balanced additionally rebalances stage widths while
+     * keeping the stage count (src/schedule/stage_partition.hpp).
+     */
+    StagePartitionStrategy stage_partition = StagePartitionStrategy::Coloring;
+
+    /**
      * Stage ordering within each CZ block. ZoneAware runs the Sec. 4.2
      * stage scheduler; AsPartitioned keeps the raw edge-coloring order
      * (the component-ablation baseline).

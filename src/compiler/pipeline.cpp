@@ -98,6 +98,28 @@ class RoutingAwarePlacement final : public PlacementMethod
     RoutingAwarePlacementOptions options_;
 };
 
+// ---------------------------------------------- stage-partition strategies
+
+// One class, not one per enum value: stage_partition.cpp already owns
+// the strategy dispatch (partitionIntoStagesBy), so a second switch
+// here would just be a place for a future fourth strategy to be missed.
+class SelectedStagePartition final : public StagePartitionMethod
+{
+  public:
+    explicit SelectedStagePartition(StagePartitionStrategy strategy)
+        : strategy_(strategy)
+    {}
+
+    std::vector<Stage>
+    partition(const CzBlock &block, std::size_t num_qubits) const override
+    {
+        return partitionIntoStagesBy(strategy_, block, num_qubits);
+    }
+
+  private:
+    StagePartitionStrategy strategy_;
+};
+
 // -------------------------------------------------- stage-order strategies
 
 class AsPartitionedStageOrder final : public StageOrderMethod
@@ -161,6 +183,12 @@ makePlacementMethod(PlacementStrategy strategy, std::uint32_t refine_iters)
     fatal("unknown placement strategy");
 }
 
+std::unique_ptr<const StagePartitionMethod>
+makeStagePartitionMethod(StagePartitionStrategy strategy)
+{
+    return std::make_unique<SelectedStagePartition>(strategy);
+}
+
 std::unique_ptr<const StageOrderMethod>
 makeStageOrderMethod(StageOrderStrategy strategy)
 {
@@ -211,11 +239,15 @@ PlacementPass::run(PipelineContext &ctx) const
     ctx.schedule.emplace(ctx.machine, std::move(initial_sites));
 }
 
+StagePartitionPass::StagePartitionPass(StagePartitionStrategy strategy)
+    : method_(makeStagePartitionMethod(strategy))
+{}
+
 std::vector<Stage>
 StagePartitionPass::run(PipelineContext &ctx, const CzBlock &block) const
 {
     const auto timing = ctx.profiler.time(PassId::StagePartition);
-    auto stages = partitionIntoStages(block, ctx.circuit.numQubits());
+    auto stages = method_->partition(block, ctx.circuit.numQubits());
     ctx.profiler.addCounter(PassId::StagePartition, "gates",
                             block.gates.size());
     ctx.profiler.addCounter(PassId::StagePartition, "stages_produced",
@@ -360,7 +392,7 @@ Pipeline::run(const Circuit &circuit) const
 
     const PlacementPass placement(options_.placement,
                                   options_.placement_refine_iters);
-    const StagePartitionPass partition;
+    const StagePartitionPass partition(options_.stage_partition);
     const StageOrderPass stage_order(options_.stage_order);
     RoutingPass routing(ctx);
     const CollMoveOrderPass coll_move_order(options_.coll_move_order);

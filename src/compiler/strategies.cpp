@@ -19,6 +19,20 @@ placementStrategyName(PlacementStrategy strategy)
 }
 
 std::string_view
+stagePartitionStrategyName(StagePartitionStrategy strategy)
+{
+    switch (strategy) {
+    case StagePartitionStrategy::Coloring:
+        return "coloring";
+    case StagePartitionStrategy::Linear:
+        return "linear";
+    case StagePartitionStrategy::Balanced:
+        return "balanced";
+    }
+    return "unknown";
+}
+
+std::string_view
 stageOrderStrategyName(StageOrderStrategy strategy)
 {
     switch (strategy) {
@@ -62,6 +76,20 @@ parsePlacementStrategy(std::string_view text, PlacementStrategy &out)
           PlacementStrategy::UsageFrequency,
           PlacementStrategy::RoutingAware}) {
         if (text == placementStrategyName(strategy)) {
+            out = strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseStagePartitionStrategy(std::string_view text, StagePartitionStrategy &out)
+{
+    for (const auto strategy :
+         {StagePartitionStrategy::Coloring, StagePartitionStrategy::Linear,
+          StagePartitionStrategy::Balanced}) {
+        if (text == stagePartitionStrategyName(strategy)) {
             out = strategy;
             return true;
         }
@@ -150,6 +178,11 @@ strategyCatalog()
          "--routing",
          {routingStrategyName(RoutingStrategy::Continuous),
           routingStrategyName(RoutingStrategy::Reuse)}},
+        {"stage-partition",
+         "--stage-partition",
+         {stagePartitionStrategyName(StagePartitionStrategy::Coloring),
+          stagePartitionStrategyName(StagePartitionStrategy::Linear),
+          stagePartitionStrategyName(StagePartitionStrategy::Balanced)}},
         {"stage-order",
          "",
          {stageOrderStrategyName(StageOrderStrategy::ZoneAware),

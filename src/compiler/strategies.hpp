@@ -53,6 +53,34 @@ enum class PlacementStrategy : std::uint8_t
     RoutingAware,
 };
 
+/** How a commutable CZ block is partitioned into Rydberg stages. */
+enum class StagePartitionStrategy : std::uint8_t
+{
+    /**
+     * The paper's Sec. 4.1 edge coloring: materialize the gate-conflict
+     * graph (a clique per qubit), then greedily color it in descending
+     * degree order. O(k^2) edges for a qubit used in k gates, which
+     * dominates compile time on deep blocks.
+     */
+    Coloring,
+    /**
+     * The same greedy coloring computed by a linear-time qubit scan
+     * (src/schedule/): each gate conflicts only through its two qubits,
+     * so tracking a per-qubit "stages already used" bitset reproduces
+     * the Coloring stage assignment bit-for-bit without ever building
+     * the conflict graph (stage_partition_test.cpp locks the identity
+     * across the Table 2 suite).
+     */
+    Linear,
+    /**
+     * The Linear scan followed by a width-rebalancing sweep: gates
+     * migrate from over-full stages to emptier qubit-disjoint stages,
+     * keeping the stage count but shrinking the maximum stage width
+     * (fewer simultaneous moves for the routers to schedule).
+     */
+    Balanced,
+};
+
 /** How stages of one commutable CZ block are ordered. */
 enum class StageOrderStrategy : std::uint8_t
 {
@@ -88,6 +116,7 @@ enum class RoutingStrategy : std::uint8_t
 
 /** Short stable name, e.g. "row-major"; used by reports and the CLI. */
 std::string_view placementStrategyName(PlacementStrategy strategy);
+std::string_view stagePartitionStrategyName(StagePartitionStrategy strategy);
 std::string_view stageOrderStrategyName(StageOrderStrategy strategy);
 std::string_view collMoveOrderStrategyName(CollMoveOrderStrategy strategy);
 std::string_view aodBatchPolicyName(AodBatchPolicy policy);
@@ -98,6 +127,8 @@ std::string_view routingStrategyName(RoutingStrategy strategy);
  * Returns false (leaving @p out untouched) on an unknown name.
  */
 bool parsePlacementStrategy(std::string_view text, PlacementStrategy &out);
+bool parseStagePartitionStrategy(std::string_view text,
+                                 StagePartitionStrategy &out);
 bool parseStageOrderStrategy(std::string_view text, StageOrderStrategy &out);
 bool parseCollMoveOrderStrategy(std::string_view text,
                                 CollMoveOrderStrategy &out);

@@ -1,10 +1,226 @@
 #include "schedule/stage_partition.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace powermove {
+
+namespace {
+
+/**
+ * Per-qubit dynamic bitsets of stage indices already taken by a colored
+ * gate on that qubit. All gates on one qubit mutually conflict, so their
+ * stage indices are distinct and the set is exactly one bit per stage;
+ * the words grow lazily with the running stage count, keeping the whole
+ * structure O(num_qubits) bitsets of O(stages/64) words each.
+ */
+class UsedStageSets
+{
+  public:
+    explicit UsedStageSets(std::size_t num_qubits) : words_(num_qubits) {}
+
+    /** Smallest stage index absent from used[a] | used[b]. */
+    std::uint32_t
+    firstFree(QubitId a, QubitId b) const
+    {
+        const auto &wa = words_[a];
+        const auto &wb = words_[b];
+        const std::size_t limit = std::max(wa.size(), wb.size());
+        for (std::size_t w = 0; w < limit; ++w) {
+            const std::uint64_t merged = (w < wa.size() ? wa[w] : 0) |
+                                         (w < wb.size() ? wb[w] : 0);
+            if (merged != ~std::uint64_t{0}) {
+                return static_cast<std::uint32_t>(
+                    w * 64 + static_cast<std::size_t>(std::countr_one(merged)));
+            }
+        }
+        return static_cast<std::uint32_t>(limit * 64);
+    }
+
+    bool
+    test(QubitId q, std::uint32_t stage) const
+    {
+        const auto &w = words_[q];
+        const std::size_t word = stage / 64;
+        return word < w.size() && (w[word] >> (stage % 64)) & 1;
+    }
+
+    void
+    set(QubitId q, std::uint32_t stage)
+    {
+        auto &w = words_[q];
+        const std::size_t word = stage / 64;
+        if (word >= w.size())
+            w.resize(word + 1, 0);
+        w[word] |= std::uint64_t{1} << (stage % 64);
+    }
+
+    void
+    clear(QubitId q, std::uint32_t stage)
+    {
+        words_[q][stage / 64] &= ~(std::uint64_t{1} << (stage % 64));
+    }
+
+  private:
+    std::vector<std::vector<std::uint64_t>> words_;
+};
+
+/** Canonical {min, max} qubit pair packed into one map key. */
+std::uint64_t
+pairKey(const CzGate &gate)
+{
+    const auto lo = std::min(gate.a, gate.b);
+    const auto hi = std::max(gate.a, gate.b);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/**
+ * The greedy stage assignment of partitionIntoStages computed by a
+ * qubit scan, without the conflict graph. Two ingredients make the
+ * result bit-identical:
+ *
+ *  1. The scan order reproduces verticesByDegreeDesc exactly: conflict
+ *     degrees come from per-qubit gate counts — deg(g) = (cnt[a] - 1) +
+ *     (cnt[b] - 1) - (pairs[{a,b}] - 1), the last term undoing the
+ *     double count of gates sharing *both* qubits — and a counting sort
+ *     by descending degree preserves ascending gate index within each
+ *     degree, matching the stable sort's tie break.
+ *  2. The forbidden colors of a gate are the union of the stage sets of
+ *     its two qubits — precisely the colors of its already-colored
+ *     graph neighbors — so taking the first free bit of that union is
+ *     the same "smallest color unused among neighbors" choice
+ *     greedyColoring makes.
+ *
+ * @param used scratch stage sets; left at their final state so callers
+ *             (the Balanced rebalance) can reuse them.
+ * @return one stage index per gate, dense from 0.
+ */
+std::vector<std::uint32_t>
+greedyScanAssignment(const CzBlock &block, std::size_t num_qubits,
+                     UsedStageSets &used)
+{
+    const std::size_t num_gates = block.gates.size();
+
+    std::vector<std::uint32_t> count_on_qubit(num_qubits, 0);
+    std::unordered_map<std::uint64_t, std::uint32_t> pair_multiplicity;
+    pair_multiplicity.reserve(num_gates);
+    for (const auto &gate : block.gates) {
+        PM_ASSERT(gate.a < num_qubits && gate.b < num_qubits,
+                  "gate qubit outside circuit width");
+        PM_ASSERT(gate.a != gate.b, "CZ gate with identical qubits");
+        ++count_on_qubit[gate.a];
+        ++count_on_qubit[gate.b];
+        ++pair_multiplicity[pairKey(gate)];
+    }
+
+    std::vector<std::uint32_t> degree(num_gates);
+    std::uint32_t max_degree = 0;
+    for (std::size_t g = 0; g < num_gates; ++g) {
+        const auto &gate = block.gates[g];
+        degree[g] = count_on_qubit[gate.a] + count_on_qubit[gate.b] - 2 -
+                    (pair_multiplicity[pairKey(gate)] - 1);
+        max_degree = std::max(max_degree, degree[g]);
+    }
+
+    // Counting sort, descending degree, ascending gate index within a
+    // degree (the stable_sort tie break of verticesByDegreeDesc).
+    std::vector<std::vector<std::uint32_t>> buckets(max_degree + 1);
+    for (std::size_t g = 0; g < num_gates; ++g)
+        buckets[degree[g]].push_back(static_cast<std::uint32_t>(g));
+
+    std::vector<std::uint32_t> stage_of(num_gates);
+    for (std::size_t d = buckets.size(); d-- > 0;) {
+        for (const std::uint32_t g : buckets[d]) {
+            const auto &gate = block.gates[g];
+            const std::uint32_t stage = used.firstFree(gate.a, gate.b);
+            stage_of[g] = stage;
+            used.set(gate.a, stage);
+            used.set(gate.b, stage);
+        }
+    }
+    return stage_of;
+}
+
+/** Stages from a dense per-gate assignment, gates in block order. */
+std::vector<Stage>
+stagesFromAssignment(const CzBlock &block,
+                     const std::vector<std::uint32_t> &stage_of)
+{
+    std::uint32_t num_stages = 0;
+    for (const auto stage : stage_of)
+        num_stages = std::max(num_stages, stage + 1);
+
+    std::vector<Stage> stages(num_stages);
+    for (std::size_t g = 0; g < block.gates.size(); ++g)
+        stages[stage_of[g]].gates.push_back(block.gates[g]);
+
+    for (const auto &stage : stages)
+        PM_ASSERT(stage.qubitsDisjoint(), "stage partition produced overlap");
+    return stages;
+}
+
+/**
+ * Width rebalance: migrate gates from over-full stages into strictly
+ * emptier qubit-disjoint stages (most underfilled target first, lowest
+ * index on ties). A move needs load(target) + 1 < load(source), so no
+ * stage ever empties and the count is preserved; each move lowers the
+ * sum of squared widths, so the sweeps terminate (the cap only bounds
+ * the worst case). Deterministic: gate order, target choice, and the
+ * stop condition depend only on the assignment.
+ */
+void
+rebalanceWidths(const CzBlock &block, std::vector<std::uint32_t> &stage_of,
+                UsedStageSets &used)
+{
+    constexpr int kMaxSweeps = 8;
+
+    std::uint32_t num_stages = 0;
+    for (const auto stage : stage_of)
+        num_stages = std::max(num_stages, stage + 1);
+
+    std::vector<std::uint32_t> load(num_stages, 0);
+    for (const auto stage : stage_of)
+        ++load[stage];
+
+    bool changed = true;
+    for (int sweep = 0; sweep < kMaxSweeps && changed; ++sweep) {
+        changed = false;
+        for (std::size_t g = 0; g < block.gates.size(); ++g) {
+            const std::uint32_t from = stage_of[g];
+            if (load[from] < 2)
+                continue;
+            const auto &gate = block.gates[g];
+            constexpr std::uint32_t kNone = ~std::uint32_t{0};
+            std::uint32_t best = kNone;
+            for (std::uint32_t to = 0; to < num_stages; ++to) {
+                if (to == from || load[to] + 1 >= load[from])
+                    continue;
+                if (best != kNone && load[to] >= load[best])
+                    continue;
+                if (used.test(gate.a, to) || used.test(gate.b, to))
+                    continue;
+                best = to;
+            }
+            if (best == kNone)
+                continue;
+            used.clear(gate.a, from);
+            used.clear(gate.b, from);
+            used.set(gate.a, best);
+            used.set(gate.b, best);
+            --load[from];
+            ++load[best];
+            stage_of[g] = best;
+            changed = true;
+        }
+    }
+}
+
+} // namespace
 
 Graph
 buildInteractionGraph(const CzBlock &block, std::size_t num_qubits)
@@ -21,10 +237,27 @@ buildInteractionGraph(const CzBlock &block, std::size_t num_qubits)
         gates_on_qubit[gate.a].push_back(static_cast<Graph::Vertex>(g));
         gates_on_qubit[gate.b].push_back(static_cast<Graph::Vertex>(g));
     }
-    for (const auto &sharers : gates_on_qubit) {
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+        const auto &sharers = gates_on_qubit[q];
         for (std::size_t i = 0; i < sharers.size(); ++i) {
-            for (std::size_t j = i + 1; j < sharers.size(); ++j)
-                graph.addEdge(sharers[i], sharers[j]);
+            for (std::size_t j = i + 1; j < sharers.size(); ++j) {
+                // A pair sharing both qubits sits in two sharer lists;
+                // expand it only from the lower one so the edge reaches
+                // addEdge exactly once instead of leaning on its
+                // linear-scan duplicate rejection.
+                const auto other_i =
+                    block.gates[sharers[i]].partnerOf(static_cast<QubitId>(q));
+                const auto other_j =
+                    block.gates[sharers[j]].partnerOf(static_cast<QubitId>(q));
+                if (other_i == other_j && other_i < q)
+                    continue;
+                const bool inserted = graph.addEdge(sharers[i], sharers[j]);
+                // addEdge also rejects duplicates (by an O(degree) scan),
+                // so the guard above is output-invisible; this assert is
+                // what keeps it from silently regressing.
+                PM_ASSERT(inserted,
+                          "clique expansion emitted a duplicate conflict");
+            }
         }
     }
     return graph;
@@ -49,6 +282,48 @@ partitionIntoStages(const CzBlock &block, std::size_t num_qubits)
     for (const auto &stage : stages)
         PM_ASSERT(stage.qubitsDisjoint(), "stage partition produced overlap");
     return stages;
+}
+
+std::vector<Stage>
+partitionIntoStagesLinear(const CzBlock &block, std::size_t num_qubits)
+{
+    if (block.gates.empty())
+        return {};
+    if (block.gates.size() == 1)
+        return {Stage{block.gates}};
+
+    UsedStageSets used(num_qubits);
+    const auto stage_of = greedyScanAssignment(block, num_qubits, used);
+    return stagesFromAssignment(block, stage_of);
+}
+
+std::vector<Stage>
+partitionIntoStagesBalanced(const CzBlock &block, std::size_t num_qubits)
+{
+    if (block.gates.empty())
+        return {};
+    if (block.gates.size() == 1)
+        return {Stage{block.gates}};
+
+    UsedStageSets used(num_qubits);
+    auto stage_of = greedyScanAssignment(block, num_qubits, used);
+    rebalanceWidths(block, stage_of, used);
+    return stagesFromAssignment(block, stage_of);
+}
+
+std::vector<Stage>
+partitionIntoStagesBy(StagePartitionStrategy strategy, const CzBlock &block,
+                      std::size_t num_qubits)
+{
+    switch (strategy) {
+    case StagePartitionStrategy::Coloring:
+        return partitionIntoStages(block, num_qubits);
+    case StagePartitionStrategy::Linear:
+        return partitionIntoStagesLinear(block, num_qubits);
+    case StagePartitionStrategy::Balanced:
+        return partitionIntoStagesBalanced(block, num_qubits);
+    }
+    fatal("unknown stage-partition strategy");
 }
 
 } // namespace powermove

@@ -81,10 +81,11 @@ fingerprintMachineConfig(const MachineConfig &config)
 
 // Completeness guard: every CompilerOptions field must be hashed below,
 // or two different configurations could silently share a cache entry.
-// A new field changes the struct's size on LP64 platforms, tripping this
-// assertion until both the hash and the expected size are updated (the
-// structured-binding probe in fingerprint_test.cpp guards field *count*
-// even when padding absorbs the addition).
+// A new field usually changes the struct's size on LP64 platforms,
+// tripping this assertion until both the hash and the expected size are
+// updated; when padding absorbs the addition instead (as it did for the
+// one-byte stage_partition enum), the structured-binding probe in
+// fingerprint_test.cpp still catches the unhashed field by count.
 static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 56,
               "CompilerOptions changed: extend fingerprintOptions() with the "
               "new field, then update this expected size");
@@ -100,6 +101,7 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(options.seed);
     hash.add(static_cast<std::uint64_t>(options.placement));
     hash.add(static_cast<std::uint64_t>(options.placement_refine_iters));
+    hash.add(static_cast<std::uint64_t>(options.stage_partition));
     hash.add(static_cast<std::uint64_t>(options.stage_order));
     hash.add(static_cast<std::uint64_t>(options.coll_move_order));
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));

@@ -143,6 +143,17 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     refine.placement_refine_iters += 1;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(refine));
 
+    CompilerOptions linear_partition = base;
+    linear_partition.stage_partition = StagePartitionStrategy::Linear;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(linear_partition));
+
+    CompilerOptions balanced_partition = base;
+    balanced_partition.stage_partition = StagePartitionStrategy::Balanced;
+    EXPECT_NE(fingerprintOptions(base),
+              fingerprintOptions(balanced_partition));
+    EXPECT_NE(fingerprintOptions(linear_partition),
+              fingerprintOptions(balanced_partition));
+
     CompilerOptions stage_order = base;
     stage_order.stage_order = StageOrderStrategy::AsPartitioned;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(stage_order));
@@ -170,14 +181,16 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
  * adding a field breaks this test at compile time until both this probe
  * and fingerprintOptions() are extended. The strategy enums above each
  * get a distinctness check; a field that compiles but is not hashed
- * would poison the service cache silently.
+ * would poison the service cache silently. The probe is the *only*
+ * compile-time guard when a one-byte field lands in struct padding (as
+ * stage_partition did — sizeof stayed 56 on LP64).
  */
 TEST(FingerprintTest, OptionFieldCountProbe)
 {
     const CompilerOptions options;
     const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
-                 placement_refine_iters, stage_order, coll_move_order,
-                 aod_batch_policy, routing, reuse_lookahead,
+                 placement_refine_iters, stage_partition, stage_order,
+                 coll_move_order, aod_batch_policy, routing, reuse_lookahead,
                  profile_passes] = options;
     EXPECT_EQ(use_storage, options.use_storage);
     EXPECT_EQ(num_aods, options.num_aods);
@@ -185,6 +198,7 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     EXPECT_EQ(seed, options.seed);
     EXPECT_EQ(placement, options.placement);
     EXPECT_EQ(placement_refine_iters, options.placement_refine_iters);
+    EXPECT_EQ(stage_partition, options.stage_partition);
     EXPECT_EQ(stage_order, options.stage_order);
     EXPECT_EQ(coll_move_order, options.coll_move_order);
     EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);

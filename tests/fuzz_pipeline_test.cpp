@@ -61,6 +61,7 @@ struct FuzzCase
     RoutingStrategy routing;
     std::uint32_t reuse_lookahead;
     PlacementStrategy placement;
+    StagePartitionStrategy stage_partition;
 };
 
 class PipelineFuzz : public ::testing::TestWithParam<FuzzCase>
@@ -79,6 +80,7 @@ TEST_P(PipelineFuzz, PowerMoveSchedulesValidate)
     options.routing = param.routing;
     options.reuse_lookahead = param.reuse_lookahead;
     options.placement = param.placement;
+    options.stage_partition = param.stage_partition;
     // A tight budget still exercises greedy + refinement while keeping
     // the case count x placement sweep cheap.
     options.placement_refine_iters = 8;
@@ -120,9 +122,9 @@ makeCases()
     // extremes for reuse (1 = hold only for the very next stage; 16 =
     // effectively unbounded for 12-moment circuits); reuse with
     // use_storage = false exercises the continuous fallback. The
-    // placement axis rotates through every strategy across the cases
-    // (rather than multiplying the count by four), so each placement
-    // sees every qubit count, both zone configurations, and both
+    // placement and stage-partition axes rotate through every strategy
+    // across the cases (rather than multiplying the count out), so each
+    // value sees every qubit count, both zone configurations, and both
     // routers somewhere in the sweep.
     constexpr PlacementStrategy kPlacements[] = {
         PlacementStrategy::RowMajor,
@@ -130,25 +132,35 @@ makeCases()
         PlacementStrategy::UsageFrequency,
         PlacementStrategy::RoutingAware,
     };
+    constexpr StagePartitionStrategy kPartitions[] = {
+        StagePartitionStrategy::Coloring,
+        StagePartitionStrategy::Linear,
+        StagePartitionStrategy::Balanced,
+    };
     std::vector<FuzzCase> cases;
     std::uint64_t seed = 1;
     std::size_t group = 0;
     // Each (n, storage, aods) group appends exactly 4 cases, so a plain
     // size-mod-4 rotation would pin each routing config to one fixed
     // placement forever; the per-group offset de-aligns the two cycles.
+    // The 3-cycle stage-partition rotation is coprime to the group size,
+    // so it de-aligns from the routing pattern on its own.
     const auto next_placement = [&] {
         return kPlacements[(cases.size() + group) % std::size(kPlacements)];
+    };
+    const auto next_partition = [&] {
+        return kPartitions[cases.size() % std::size(kPartitions)];
     };
     for (const std::size_t n : {5u, 9u, 16u, 25u, 40u}) {
         for (const bool storage : {false, true}) {
             for (const std::size_t aods : {1u, 3u}) {
                 cases.push_back(
                     {seed++, n, storage, aods, RoutingStrategy::Continuous,
-                     4, next_placement()});
+                     4, next_placement(), next_partition()});
                 for (const std::uint32_t window : {1u, 4u, 16u}) {
                     cases.push_back({seed++, n, storage, aods,
                                      RoutingStrategy::Reuse, window,
-                                     next_placement()});
+                                     next_placement(), next_partition()});
                 }
                 ++group;
             }

@@ -1,14 +1,25 @@
-/** @file Tests for Algorithm 1 (edge-coloring stage partition). */
+/** @file Tests for Algorithm 1 (edge-coloring stage partition).
+ *
+ * Covers the three StagePartitionStrategy implementations: the paper's
+ * graph coloring, the graph-free linear scan (locked bit-identical to
+ * coloring, differentially over the Table 2 suite plus depth-2 VQE),
+ * and the width-balanced variant (same stage count, qubit-disjoint,
+ * coverage-complete), plus randomized-block partition properties.
+ */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "schedule/stage_partition.hpp"
 #include "workloads/qaoa.hpp"
 #include "workloads/qft.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/vqe.hpp"
 
 namespace powermove {
 namespace {
@@ -48,6 +59,39 @@ TEST(InteractionGraphTest, RepeatedPairIsSingleConflict)
     const auto block = blockOf({{0, 1}, {0, 1}});
     const Graph g = buildInteractionGraph(block, 2);
     EXPECT_EQ(g.numEdges(), 1u);
+}
+
+/**
+ * Regression: two gates sharing *both* qubits sit in both qubits' sharer
+ * lists, so the naive clique expansion emits their edge twice; the
+ * builder must deduplicate the pair itself rather than lean on
+ * Graph::addEdge's linear duplicate scan (which keeps the *output*
+ * identical either way — the graph checks here lock that output, while
+ * the builder's duplicate-insertion PM_ASSERT is what makes a reverted
+ * guard fail this test loudly instead of just running slower).
+ */
+TEST(InteractionGraphTest, BothQubitsSharedPairsAreDeduplicated)
+{
+    // Three copies of {0,1} (pairwise conflicts via both qubits) plus
+    // one {1,2} that conflicts each copy through qubit 1 only.
+    const auto block = blockOf({{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+    const Graph g = buildInteractionGraph(block, 3);
+    EXPECT_EQ(g.numEdges(), 6u); // triangle (3) + one edge to each copy
+
+    auto edges = g.edges();
+    std::sort(edges.begin(), edges.end());
+    EXPECT_TRUE(std::adjacent_find(edges.begin(), edges.end()) ==
+                edges.end())
+        << "duplicate edge in edge list";
+
+    for (Graph::Vertex v = 0; v < 4; ++v) {
+        auto neighbors = g.adjacents(v);
+        std::sort(neighbors.begin(), neighbors.end());
+        EXPECT_TRUE(std::adjacent_find(neighbors.begin(), neighbors.end()) ==
+                    neighbors.end())
+            << "duplicate neighbor of gate " << v;
+        EXPECT_EQ(neighbors.size(), 3u); // every other gate, exactly once
+    }
 }
 
 TEST(StagePartitionTest, EmptyBlockYieldsNoStages)
@@ -152,6 +196,197 @@ TEST(StagePartitionTest, QftBlocksAreSequentialChains)
         EXPECT_EQ(stages.size(), blocks[k]->gates.size());
     }
 }
+
+// ------------------------------------------- strategy differential tests
+
+bool
+identicalStages(const std::vector<Stage> &a, const std::vector<Stage> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        if (a[s].gates != b[s].gates)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+maxStageWidth(const std::vector<Stage> &stages)
+{
+    std::size_t widest = 0;
+    for (const auto &stage : stages)
+        widest = std::max(widest, stage.gates.size());
+    return widest;
+}
+
+/** Every Table 2 circuit plus the depth-2 VQE multi-block workload. */
+std::vector<std::pair<std::string, Circuit>>
+differentialCircuits()
+{
+    std::vector<std::pair<std::string, Circuit>> circuits;
+    for (const BenchmarkSpec &spec : table2Suite())
+        circuits.emplace_back(spec.name, spec.build());
+    circuits.emplace_back(
+        "VQE-depth2-30",
+        makeVqe(30, 2, VqeEntanglement::Linear, 0xF00D + 30));
+    return circuits;
+}
+
+/**
+ * The tentpole identity: the graph-free linear scan must reproduce the
+ * edge-coloring stage assignment bit-for-bit — same greedy order, same
+ * colors, same gate order within every stage — on every block of every
+ * Table 2 entry plus depth-2 VQE.
+ */
+TEST(StagePartitionDifferentialTest, LinearIsBitIdenticalToColoring)
+{
+    for (const auto &[name, circuit] : differentialCircuits()) {
+        std::size_t index = 0;
+        for (const CzBlock *block : circuit.blocks()) {
+            const auto coloring =
+                partitionIntoStages(*block, circuit.numQubits());
+            const auto linear =
+                partitionIntoStagesLinear(*block, circuit.numQubits());
+            EXPECT_TRUE(identicalStages(coloring, linear))
+                << name << " block " << index;
+            ++index;
+        }
+    }
+}
+
+/**
+ * Balanced keeps the coloring's stage count (its rebalance never opens
+ * or empties a stage) and still emits qubit-disjoint stages covering
+ * the block's exact gate multiset, with max stage width never above
+ * the coloring's.
+ */
+TEST(StagePartitionDifferentialTest, BalancedKeepsCountCoverageDisjointness)
+{
+    for (const auto &[name, circuit] : differentialCircuits()) {
+        std::size_t index = 0;
+        for (const CzBlock *block : circuit.blocks()) {
+            const auto coloring =
+                partitionIntoStages(*block, circuit.numQubits());
+            const auto balanced =
+                partitionIntoStagesBalanced(*block, circuit.numQubits());
+            EXPECT_EQ(balanced.size(), coloring.size())
+                << name << " block " << index;
+            EXPECT_EQ(sortedGates(balanced), sortedGates(coloring))
+                << name << " block " << index;
+            EXPECT_LE(maxStageWidth(balanced), maxStageWidth(coloring))
+                << name << " block " << index;
+            for (const auto &stage : balanced) {
+                EXPECT_TRUE(stage.qubitsDisjoint())
+                    << name << " block " << index;
+                EXPECT_FALSE(stage.gates.empty())
+                    << name << " block " << index;
+            }
+            ++index;
+        }
+    }
+}
+
+TEST(StagePartitionDifferentialTest, DispatchSelectsTheStrategy)
+{
+    const auto block = blockOf({{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}});
+    EXPECT_TRUE(identicalStages(
+        partitionIntoStagesBy(StagePartitionStrategy::Coloring, block, 4),
+        partitionIntoStages(block, 4)));
+    EXPECT_TRUE(identicalStages(
+        partitionIntoStagesBy(StagePartitionStrategy::Linear, block, 4),
+        partitionIntoStagesLinear(block, 4)));
+    EXPECT_TRUE(identicalStages(
+        partitionIntoStagesBy(StagePartitionStrategy::Balanced, block, 4),
+        partitionIntoStagesBalanced(block, 4)));
+}
+
+// -------------------------------------------- randomized-block properties
+
+CzBlock
+randomBlock(std::size_t num_qubits, std::size_t num_gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CzBlock block;
+    while (block.gates.size() < num_gates) {
+        const auto a = static_cast<QubitId>(rng.nextBelow(num_qubits));
+        const auto b = static_cast<QubitId>(rng.nextBelow(num_qubits));
+        // Duplicate pairs (and both orientations) deliberately allowed.
+        if (a != b)
+            block.gates.push_back(CzGate{a, b});
+    }
+    return block;
+}
+
+constexpr StagePartitionStrategy kAllStrategies[] = {
+    StagePartitionStrategy::Coloring,
+    StagePartitionStrategy::Linear,
+    StagePartitionStrategy::Balanced,
+};
+
+struct RandomBlockCase
+{
+    std::uint64_t seed;
+    std::size_t num_qubits;
+    std::size_t num_gates;
+};
+
+class RandomBlockProperty : public ::testing::TestWithParam<RandomBlockCase>
+{};
+
+/**
+ * Invariants every partitioner must uphold on adversarial blocks (dense
+ * overlap, duplicate pairs): each gate lands in exactly one stage,
+ * stages are qubit-disjoint and non-empty, the stage count never
+ * exceeds the greedy-coloring bound (max gate-conflict degree + 1,
+ * where a gate's conflict degree is at most the summed gate counts of
+ * its two qubits), and repeated runs are bit-identical.
+ */
+TEST_P(RandomBlockProperty, PartitionsValidlyAndDeterministically)
+{
+    const auto param = GetParam();
+    const CzBlock block =
+        randomBlock(param.num_qubits, param.num_gates, param.seed);
+    const std::size_t degree_bound =
+        buildInteractionGraph(block, param.num_qubits).maxDegree() + 1;
+
+    auto expected = block.gates;
+    std::sort(expected.begin(), expected.end());
+
+    for (const StagePartitionStrategy strategy : kAllStrategies) {
+        const auto stages =
+            partitionIntoStagesBy(strategy, block, param.num_qubits);
+        for (const auto &stage : stages) {
+            EXPECT_TRUE(stage.qubitsDisjoint());
+            EXPECT_FALSE(stage.gates.empty());
+        }
+        // Every gate in exactly one stage: the concatenation is a
+        // permutation of the block (multiset equality + size match).
+        std::vector<CzGate> all;
+        for (const auto &stage : stages)
+            for (const auto &gate : stage.gates)
+                all.push_back(gate);
+        EXPECT_EQ(all.size(), block.gates.size());
+        std::sort(all.begin(), all.end());
+        EXPECT_EQ(all, expected);
+
+        EXPECT_LE(stages.size(), degree_bound);
+
+        const auto again =
+            partitionIntoStagesBy(strategy, block, param.num_qubits);
+        EXPECT_TRUE(identicalStages(stages, again))
+            << "nondeterministic partition, strategy "
+            << stagePartitionStrategyName(strategy);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBlocks, RandomBlockProperty,
+    ::testing::Values(RandomBlockCase{1, 4, 3}, RandomBlockCase{2, 5, 12},
+                      RandomBlockCase{3, 8, 40}, RandomBlockCase{4, 12, 80},
+                      RandomBlockCase{5, 16, 30}, RandomBlockCase{6, 24, 150},
+                      RandomBlockCase{7, 40, 400},
+                      RandomBlockCase{8, 64, 600}));
 
 } // namespace
 } // namespace powermove

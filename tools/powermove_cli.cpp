@@ -25,6 +25,10 @@
  *                  src/placement/)
  *   --placement-refine-iters N  routing-aware local-search budget in
  *                  sweeps (default 32; 0 = greedy layout only)
+ *   --stage-partition S  CZ-block stage partition: coloring (default,
+ *                  the paper's Sec. 4.1 edge coloring), linear (the
+ *                  bit-identical graph-free scan), or balanced
+ *                  (linear + stage-width rebalance)
  *   --routing R    stage-transition routing: continuous (default, the
  *                  paper's Sec. 5 router) or reuse (gate-aware atom
  *                  reuse, src/reuse/)
@@ -103,6 +107,10 @@ printUsage(std::FILE *stream)
         "  --placement-refine-iters N\n"
         "                 routing-aware local-search sweeps (default 32,\n"
         "                 0 = greedy only)\n"
+        "  --stage-partition S\n"
+        "                 CZ-block stage partition: coloring (default),\n"
+        "                 linear (bit-identical graph-free scan), or\n"
+        "                 balanced (linear + stage-width rebalance)\n"
         "  --routing R    stage-transition routing: continuous (default)\n"
         "                 or reuse (gate-aware atom reuse)\n"
         "  --reuse-lookahead N\n"
@@ -142,7 +150,7 @@ printStrategies()
         const std::string dimension(entry.dimension);
         const std::string flag =
             entry.flag.empty() ? "(library-only)" : std::string(entry.flag);
-        std::printf("  %-16s %-16s %s\n", dimension.c_str(), flag.c_str(),
+        std::printf("  %-16s %-18s %s\n", dimension.c_str(), flag.c_str(),
                     values.c_str());
     }
 }
@@ -164,7 +172,7 @@ expandArgs(int argc, char **argv)
         "--jobs",      "--num-aods",        "--seed",
         "--alpha",     "--placement",       "--routing",
         "--reuse-lookahead", "--batch-policy", "--out-dir",
-        "--placement-refine-iters",
+        "--placement-refine-iters", "--stage-partition",
     };
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc));
@@ -285,6 +293,17 @@ parseArgs(int argc, char **argv, CliOptions &cli)
                 return false;
             cli.compiler.placement_refine_iters =
                 static_cast<std::uint32_t>(value);
+        } else if (arg == "--stage-partition") {
+            if (!take_value("--stage-partition", i, text))
+                return false;
+            if (!parseStagePartitionStrategy(text,
+                                             cli.compiler.stage_partition)) {
+                std::fprintf(stderr,
+                             "powermove: unknown stage partition '%s' "
+                             "(expected coloring, linear, or balanced)\n",
+                             text.c_str());
+                return false;
+            }
         } else if (arg == "--routing") {
             if (!take_value("--routing", i, text))
                 return false;
