@@ -67,13 +67,14 @@ struct CompilerOptions
 
     /**
      * How each commutable CZ block is split into Rydberg stages.
-     * Coloring is the paper's Sec. 4.1 edge coloring over the
-     * materialized conflict graph; Linear reproduces that assignment
-     * bit-for-bit by a graph-free qubit scan (the fast path on deep
-     * blocks); Balanced additionally rebalances stage widths while
-     * keeping the stage count (src/schedule/stage_partition.hpp).
+     * Linear (the default) is the graph-free qubit scan that reproduces
+     * the paper's Sec. 4.1 edge coloring bit-for-bit without
+     * materializing the conflict graph — same schedules, linear time on
+     * deep blocks; Coloring is that reference edge coloring; Balanced
+     * additionally rebalances stage widths while keeping the stage
+     * count (src/schedule/stage_partition.hpp).
      */
-    StagePartitionStrategy stage_partition = StagePartitionStrategy::Coloring;
+    StagePartitionStrategy stage_partition = StagePartitionStrategy::Linear;
 
     /**
      * Stage ordering within each CZ block. ZoneAware runs the Sec. 4.2

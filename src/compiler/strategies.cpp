@@ -180,8 +180,8 @@ strategyCatalog()
           routingStrategyName(RoutingStrategy::Reuse)}},
         {"stage-partition",
          "--stage-partition",
-         {stagePartitionStrategyName(StagePartitionStrategy::Coloring),
-          stagePartitionStrategyName(StagePartitionStrategy::Linear),
+         {stagePartitionStrategyName(StagePartitionStrategy::Linear),
+          stagePartitionStrategyName(StagePartitionStrategy::Coloring),
           stagePartitionStrategyName(StagePartitionStrategy::Balanced)}},
         {"stage-order",
          "",

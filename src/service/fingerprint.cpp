@@ -138,6 +138,17 @@ seedFingerprintJob(const Circuit &circuit, const MachineConfig &config,
 }
 
 std::uint64_t
+diskCacheKey(std::uint64_t job_fingerprint, bool derive_job_seeds)
+{
+    if (derive_job_seeds)
+        return job_fingerprint;
+    Fnv1a hash;
+    hash.add("verbatim-seed");
+    hash.add(job_fingerprint);
+    return hash.digest();
+}
+
+std::uint64_t
 deriveJobSeed(std::uint64_t base_seed, std::uint64_t job_fingerprint)
 {
     // hash_combine-style fold of the fingerprint into the base seed,

@@ -131,6 +131,18 @@ std::uint64_t seedFingerprintJob(const Circuit &circuit,
                                  const CompilerOptions &options);
 
 /**
+ * The on-disk cache address of a job. The persistent cache is shared
+ * across processes, and two services may disagree on
+ * ServiceOptions::derive_job_seeds — the same job fingerprint then
+ * names two *different* schedules (derived vs. verbatim seed). The
+ * seeding rule therefore participates in the disk key, while the
+ * in-memory key stays the plain fingerprint (one service applies one
+ * rule consistently).
+ */
+std::uint64_t diskCacheKey(std::uint64_t job_fingerprint,
+                           bool derive_job_seeds);
+
+/**
  * Derives the RNG seed a batched job actually compiles with.
  *
  * Rule (see CompilerOptions::seed): a job's randomized decisions must

@@ -1,0 +1,457 @@
+#include "service/job_service.hpp"
+
+#include <algorithm>
+
+#include "compiler/powermove.hpp"
+#include "service/fingerprint.hpp"
+
+namespace powermove::service {
+
+JobService::JobService(JobServiceOptions options) : options_(std::move(options))
+{
+    const unsigned hw_raw = std::thread::hardware_concurrency();
+    const std::size_t hw = hw_raw == 0 ? 1 : hw_raw;
+    if (options_.num_shards == 0)
+        options_.num_shards = std::min<std::size_t>(hw, 4);
+    if (options_.workers_per_shard == 0)
+        options_.workers_per_shard =
+            std::max<std::size_t>(1, hw / options_.num_shards);
+
+    if (!options_.cache_dir.empty())
+        disk_ = std::make_shared<DiskCache>(DiskCacheOptions{
+            options_.cache_dir, options_.disk_cache_bytes});
+
+    shards_.reserve(options_.num_shards);
+    for (std::size_t s = 0; s < options_.num_shards; ++s)
+        shards_.push_back(std::make_unique<Shard>(options_.cache_capacity));
+    // Workers start only after every shard exists: a worker touches no
+    // shard but its own, so construction order cannot race.
+    for (const auto &shard : shards_) {
+        shard->workers.reserve(options_.workers_per_shard);
+        for (std::size_t w = 0; w < options_.workers_per_shard; ++w)
+            shard->workers.emplace_back(
+                [this, &shard_ref = *shard] { workerLoop(shard_ref); });
+    }
+}
+
+JobService::~JobService()
+{
+    for (const auto &shard : shards_) {
+        {
+            const std::lock_guard<std::mutex> lock(shard->mutex);
+            shard->stopping = true;
+        }
+        shard->work_ready.notify_all();
+    }
+    for (const auto &shard : shards_)
+        for (std::thread &worker : shard->workers)
+            worker.join();
+}
+
+JobService::Shard &
+JobService::shardFor(std::uint64_t fingerprint)
+{
+    return *shards_[fingerprint % shards_.size()];
+}
+
+JobTicket
+JobService::submit(CompileJob job, int priority, double deadline_ms)
+{
+    return submit(JobRequest{std::move(job), priority, deadline_ms});
+}
+
+JobTicket
+JobService::submit(JobRequest request)
+{
+    const std::uint64_t fingerprint = jobFingerprint(request.job);
+    const JobId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++submitted_;
+    }
+    createRecord(id, fingerprint, request.priority);
+
+    Waiter waiter;
+    waiter.id = id;
+    std::future<JobResult> future = waiter.promise.get_future();
+    if (request.deadline_ms > 0.0) {
+        waiter.has_deadline = true;
+        waiter.deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    request.deadline_ms));
+    }
+
+    Shard &shard = shardFor(fingerprint);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (shard.stopping)
+        fatal("submit on a stopping JobService");
+
+    // An identical job is queued or compiling: attach, and promote the
+    // queued entry if this duplicate outranks it.
+    if (const auto it = shard.pending.find(fingerprint);
+        it != shard.pending.end()) {
+        PendingJob &pending = it->second;
+        if (!pending.running && request.priority > pending.priority) {
+            pending.priority = request.priority;
+            // The old heap entry goes stale (priority mismatch on pop).
+            shard.queue.push(
+                QueueEntry{pending.priority, pending.seq, fingerprint});
+        }
+        pending.waiters.push_back(std::move(waiter));
+        lock.unlock();
+        {
+            const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++coalesced_;
+        }
+        recordState(id, JobState::Admitted);
+        shard.work_ready.notify_one();
+        return JobTicket{id, std::move(future)};
+    }
+
+    // Shard-local memory cache: answer at submit, no worker involved.
+    if (auto cached = shard.cache.lookup(fingerprint)) {
+        lock.unlock();
+        {
+            const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++memory_hits_;
+        }
+        recordState(id, JobState::Cached);
+        waiter.promise.set_value(JobResult{std::move(cached.machine),
+                                           std::move(cached.result),
+                                           fingerprint, true,
+                                           ResultSource::Memory});
+        return JobTicket{id, std::move(future)};
+    }
+
+    // Admission control: beyond the queue bound the service pushes
+    // back instead of buffering, so overload degrades loudly.
+    if (options_.max_queue != 0 && shard.queued_jobs >= options_.max_queue) {
+        lock.unlock();
+        {
+            const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            ++rejected_;
+        }
+        const std::string reason =
+            "rejected: shard queue full (" +
+            std::to_string(options_.max_queue) + " jobs queued)";
+        recordState(id, JobState::Rejected, reason);
+        waiter.promise.set_exception(
+            std::make_exception_ptr(RejectedError(reason)));
+        return JobTicket{id, std::move(future)};
+    }
+
+    PendingJob pending;
+    pending.job = std::move(request.job);
+    pending.priority = request.priority;
+    pending.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    pending.waiters.push_back(std::move(waiter));
+    shard.queue.push(QueueEntry{pending.priority, pending.seq, fingerprint});
+    shard.pending.emplace(fingerprint, std::move(pending));
+    ++shard.queued_jobs;
+    lock.unlock();
+
+    recordState(id, JobState::Admitted);
+    shard.work_ready.notify_one();
+    return JobTicket{id, std::move(future)};
+}
+
+std::optional<JobStatus>
+JobService::status(JobId id) const
+{
+    const std::lock_guard<std::mutex> lock(records_mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+JobService::waitIdle()
+{
+    for (const auto &shard : shards_) {
+        std::unique_lock<std::mutex> lock(shard->mutex);
+        shard->idle.wait(lock, [&] { return shard->pending.empty(); });
+    }
+}
+
+JobServiceStats
+JobService::stats() const
+{
+    JobServiceStats stats;
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats.submitted = submitted_;
+        stats.rejected = rejected_;
+        stats.expired = expired_;
+        stats.coalesced = coalesced_;
+        stats.memory_hits = memory_hits_;
+        stats.disk_hits = disk_hits_;
+        stats.compiled = compiled_;
+        stats.failed = failed_;
+    }
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.queued += shard->pending.size();
+    }
+    stats.num_shards = options_.num_shards;
+    stats.workers_per_shard = options_.workers_per_shard;
+    if (disk_)
+        stats.disk = disk_->stats();
+    return stats;
+}
+
+void
+JobService::createRecord(JobId id, std::uint64_t fingerprint, int priority)
+{
+    JobStatus record;
+    record.id = id;
+    record.fingerprint = fingerprint;
+    record.priority = priority;
+    record.state = JobState::Queued;
+    record.timeline.record(JobState::Queued);
+    const std::lock_guard<std::mutex> lock(records_mutex_);
+    records_.emplace(id, std::move(record));
+}
+
+void
+JobService::recordState(JobId id, JobState state, std::string error)
+{
+    const std::lock_guard<std::mutex> lock(records_mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end())
+        return; // already pruned
+    it->second.state = state;
+    it->second.timeline.record(state);
+    if (!error.empty())
+        it->second.error = std::move(error);
+    if (!jobStateIsTerminal(state))
+        return;
+    finished_order_.push_back(id);
+    if (options_.max_finished_records == 0)
+        return;
+    while (finished_order_.size() > options_.max_finished_records) {
+        records_.erase(finished_order_.front());
+        finished_order_.pop_front();
+    }
+}
+
+std::shared_ptr<const Machine>
+JobService::internMachine(Shard &shard, const MachineConfig &config,
+                          std::unique_lock<std::mutex> &lock)
+{
+    const std::uint64_t key = fingerprintMachineConfig(config);
+    if (const auto it = shard.machines.find(key); it != shard.machines.end()) {
+        if (auto machine = it->second.lock())
+            return machine;
+    }
+    std::erase_if(shard.machines,
+                  [](const auto &entry) { return entry.second.expired(); });
+
+    // Build outside the lock: machine construction is O(sites) and must
+    // not stall submitters or sibling workers of this shard.
+    lock.unlock();
+    std::shared_ptr<const Machine> machine;
+    try {
+        machine = std::make_shared<const Machine>(config);
+    } catch (...) {
+        lock.lock();
+        throw;
+    }
+    lock.lock();
+    auto &slot = shard.machines[key];
+    if (auto existing = slot.lock())
+        return existing;
+    slot = machine;
+    return machine;
+}
+
+void
+JobService::workerLoop(Shard &shard)
+{
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+        shard.work_ready.wait(
+            lock, [&] { return shard.stopping || !shard.queue.empty(); });
+        if (shard.queue.empty()) {
+            if (shard.stopping)
+                return; // drained: every admitted job was resolved
+            continue;
+        }
+        const QueueEntry entry = shard.queue.top();
+        shard.queue.pop();
+
+        const auto it = shard.pending.find(entry.fingerprint);
+        // Stale heap entries: the job already ran, or a promotion
+        // superseded this entry (the fresher one carries the higher
+        // priority). Skip without touching anything.
+        if (it == shard.pending.end() || it->second.running ||
+            it->second.priority != entry.priority)
+            continue;
+
+        const std::uint64_t fingerprint = entry.fingerprint;
+        // The map reference stays valid while unlocked: only this
+        // worker erases this entry once running, rehashing never
+        // invalidates references, and concurrent submits only append
+        // waiters under the lock — never touch the job payload.
+        PendingJob &pending = it->second;
+        pending.running = true;
+        --shard.queued_jobs;
+
+        // Deadlines bound queue wait: anyone overdue by now expires
+        // before the compilation starts.
+        const Clock::time_point now = Clock::now();
+        std::vector<Waiter> expired_waiters;
+        std::vector<Waiter> live;
+        for (Waiter &waiter : pending.waiters) {
+            if (waiter.has_deadline && waiter.deadline < now)
+                expired_waiters.push_back(std::move(waiter));
+            else
+                live.push_back(std::move(waiter));
+        }
+        pending.waiters = std::move(live);
+
+        if (pending.waiters.empty()) {
+            // Everyone expired: skip the compilation entirely.
+            shard.pending.erase(it);
+            const bool now_idle = shard.pending.empty();
+            lock.unlock();
+            {
+                const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+                expired_ += expired_waiters.size();
+            }
+            for (Waiter &waiter : expired_waiters) {
+                recordState(waiter.id, JobState::Expired,
+                            "expired: deadline passed while queued");
+                waiter.promise.set_exception(std::make_exception_ptr(
+                    ExpiredError("deadline passed while queued")));
+            }
+            if (now_idle)
+                shard.idle.notify_all();
+            lock.lock();
+            continue;
+        }
+
+        std::vector<JobId> live_ids;
+        live_ids.reserve(pending.waiters.size());
+        for (const Waiter &waiter : pending.waiters)
+            live_ids.push_back(waiter.id);
+
+        std::shared_ptr<const Machine> machine;
+        std::shared_ptr<const CompileResult> result;
+        std::exception_ptr error;
+        bool from_disk = false;
+        try {
+            machine = internMachine(shard, pending.job.machine, lock);
+            CompilerOptions options = pending.job.options;
+            const Circuit &circuit = pending.job.circuit;
+            lock.unlock();
+
+            if (!expired_waiters.empty()) {
+                const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+                expired_ += expired_waiters.size();
+            }
+            for (Waiter &waiter : expired_waiters) {
+                recordState(waiter.id, JobState::Expired,
+                            "expired: deadline passed while queued");
+                waiter.promise.set_exception(std::make_exception_ptr(
+                    ExpiredError("deadline passed while queued")));
+            }
+            expired_waiters.clear();
+
+            if (disk_)
+                result = disk_->load(
+                    diskCacheKey(fingerprint, options_.derive_job_seeds),
+                    *machine);
+            if (result) {
+                from_disk = true;
+            } else {
+                for (const JobId job_id : live_ids)
+                    recordState(job_id, JobState::Running);
+                if (options_.derive_job_seeds)
+                    options.seed = deriveJobSeed(
+                        options.seed,
+                        seedFingerprintJob(circuit, pending.job.machine,
+                                           options));
+                const PowerMoveCompiler compiler(*machine, options);
+                result = std::make_shared<const CompileResult>(
+                    compiler.compile(circuit));
+                if (disk_)
+                    disk_->store(
+                        diskCacheKey(fingerprint,
+                                     options_.derive_job_seeds),
+                        *result);
+            }
+            lock.lock();
+        } catch (...) {
+            error = std::current_exception();
+            if (!lock.owns_lock())
+                lock.lock();
+        }
+
+        if (result)
+            shard.cache.insert(fingerprint, {result, machine});
+        std::vector<Waiter> waiters = std::move(pending.waiters);
+        shard.pending.erase(fingerprint);
+        const bool now_idle = shard.pending.empty();
+        lock.unlock();
+
+        // Account before fulfilling any promise: a waiter that observes
+        // its result (or exception) must already see it in stats().
+        {
+            const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+            expired_ += expired_waiters.size();
+            if (error)
+                ++failed_;
+            else if (from_disk)
+                ++disk_hits_;
+            else
+                ++compiled_;
+        }
+
+        // Leftover expired waiters exist only on the error path (the
+        // unlock above never ran); resolve them as Expired, not Failed.
+        for (Waiter &waiter : expired_waiters) {
+            recordState(waiter.id, JobState::Expired,
+                        "expired: deadline passed while queued");
+            waiter.promise.set_exception(std::make_exception_ptr(
+                ExpiredError("deadline passed while queued")));
+        }
+
+        std::string error_text;
+        if (error) {
+            try {
+                std::rethrow_exception(error);
+            } catch (const std::exception &e) {
+                error_text = e.what();
+            } catch (...) {
+                error_text = "unknown error";
+            }
+        }
+
+        JobResult outcome{machine, result, fingerprint, from_disk,
+                          from_disk ? ResultSource::Disk
+                                    : ResultSource::Compiled};
+        for (std::size_t w = 0; w < waiters.size(); ++w) {
+            Waiter &waiter = waiters[w];
+            if (error) {
+                recordState(waiter.id, JobState::Failed, error_text);
+                waiter.promise.set_exception(error);
+                continue;
+            }
+            recordState(waiter.id,
+                        from_disk ? JobState::Cached : JobState::Done);
+            outcome.source = from_disk ? ResultSource::Disk
+                             : w == 0  ? ResultSource::Compiled
+                                       : ResultSource::Coalesced;
+            waiter.promise.set_value(outcome);
+        }
+
+        if (now_idle)
+            shard.idle.notify_all();
+        lock.lock();
+    }
+}
+
+} // namespace powermove::service

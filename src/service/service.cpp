@@ -23,12 +23,15 @@ effectiveOptions(const CompileJob &job)
 }
 
 CompilationService::CompilationService(ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity)
+    : options_(std::move(options)), cache_(options_.cache_capacity)
 {
     if (options_.num_workers == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         options_.num_workers = hw == 0 ? 1 : hw;
     }
+    if (!options_.cache_dir.empty())
+        disk_ = std::make_shared<DiskCache>(DiskCacheOptions{
+            options_.cache_dir, options_.disk_cache_bytes});
     workers_.reserve(options_.num_workers);
     for (std::size_t i = 0; i < options_.num_workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -64,12 +67,12 @@ CompilationService::submit(CompileJob job)
         return future;
     }
 
-    // Tier 2: the result is cached — answer without touching the pool.
+    // Tier 2: the result is in memory — answer without touching the pool.
     if (auto cached = cache_.lookup(fingerprint)) {
         lock.unlock();
         promise.set_value(JobResult{std::move(cached.machine),
                                     std::move(cached.result), fingerprint,
-                                    true});
+                                    true, ResultSource::Memory});
         return future;
     }
 
@@ -127,11 +130,14 @@ CompilationService::stats() const
     stats.jobs_submitted = jobs_submitted_;
     stats.jobs_completed = jobs_completed_;
     stats.jobs_failed = jobs_failed_;
-    stats.cache_hits = cache_.hits();
-    stats.cache_misses = cache_.misses();
+    stats.memory_hits = cache_.hits();
+    stats.disk_hits = disk_hits_;
+    stats.misses = misses_;
     stats.cache_evictions = cache_.evictions();
     stats.cache_entries = cache_.size();
     stats.coalesced = coalesced_;
+    if (disk_)
+        stats.disk = disk_->stats();
     stats.machines_built = machines_built_;
     stats.num_workers = workers_.size();
     stats.pass_totals = pass_totals_;
@@ -196,23 +202,39 @@ CompilationService::workerLoop()
         std::shared_ptr<const Machine> machine;
         std::shared_ptr<const CompileResult> result;
         std::exception_ptr error;
+        bool from_disk = false;
         try {
             machine = internMachine(entry.job.machine, lock);
             CompilerOptions options = entry.job.options;
             const Circuit &circuit = entry.job.circuit;
             lock.unlock();
-            // Seeds derive from the profile-normalized fingerprint (not
-            // the cache key) so that toggling profiling can never alter
-            // a job's schedule; hashed outside the lock since it walks
-            // the whole circuit.
-            if (options_.derive_job_seeds)
-                options.seed = deriveJobSeed(
-                    options.seed, seedFingerprintJob(circuit,
-                                                     entry.job.machine,
-                                                     options));
-            const PowerMoveCompiler compiler(*machine, options);
-            result = std::make_shared<const CompileResult>(
-                compiler.compile(circuit));
+            // Tier 3: the persistent disk cache — deserializing a
+            // stored schedule skips compilation entirely.
+            if (disk_)
+                result = disk_->load(
+                    diskCacheKey(fingerprint, options_.derive_job_seeds),
+                    *machine);
+            if (result) {
+                from_disk = true;
+            } else {
+                // Seeds derive from the profile-normalized fingerprint
+                // (not the cache key) so that toggling profiling can
+                // never alter a job's schedule; hashed outside the lock
+                // since it walks the whole circuit.
+                if (options_.derive_job_seeds)
+                    options.seed = deriveJobSeed(
+                        options.seed, seedFingerprintJob(circuit,
+                                                         entry.job.machine,
+                                                         options));
+                const PowerMoveCompiler compiler(*machine, options);
+                result = std::make_shared<const CompileResult>(
+                    compiler.compile(circuit));
+                if (disk_)
+                    disk_->store(
+                        diskCacheKey(fingerprint,
+                                     options_.derive_job_seeds),
+                        *result);
+            }
             lock.lock();
         } catch (...) {
             error = std::current_exception();
@@ -222,9 +244,15 @@ CompilationService::workerLoop()
 
         if (result) {
             cache_.insert(fingerprint, {result, machine});
-            ++jobs_completed_;
-            mergePassProfiles(pass_totals_, result->pass_profiles);
+            if (from_disk) {
+                ++disk_hits_;
+            } else {
+                ++misses_;
+                ++jobs_completed_;
+                mergePassProfiles(pass_totals_, result->pass_profiles);
+            }
         } else {
+            ++misses_;
             ++jobs_failed_;
         }
         std::vector<std::promise<JobResult>> waiters =
@@ -233,9 +261,17 @@ CompilationService::workerLoop()
         const bool now_idle = pending_.empty();
         lock.unlock();
 
-        const JobResult outcome{std::move(machine), std::move(result),
-                                fingerprint, false};
-        for (std::promise<JobResult> &waiter : waiters) {
+        JobResult outcome{std::move(machine), std::move(result),
+                          fingerprint, from_disk,
+                          from_disk ? ResultSource::Disk
+                                    : ResultSource::Compiled};
+        for (std::size_t w = 0; w < waiters.size(); ++w) {
+            // waiters[0] is the submission that created the entry; every
+            // later one attached to it and is attributed as coalesced.
+            outcome.source = w == 0 ? (from_disk ? ResultSource::Disk
+                                                 : ResultSource::Compiled)
+                                    : ResultSource::Coalesced;
+            std::promise<JobResult> &waiter = waiters[w];
             if (error)
                 waiter.set_exception(error);
             else

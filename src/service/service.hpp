@@ -7,14 +7,19 @@
  * receive std::futures. Internally:
  *
  *  - submit() fingerprints the job (service/fingerprint.hpp) and, under
- *    one lock, resolves it against three tiers: an identical job already
- *    *in flight* (the new future attaches to it — no duplicate work), a
- *    cached result (the future is ready immediately), or a fresh entry
- *    pushed onto the worker queue.
- *  - A fixed pool of std::thread workers pops jobs, compiles them with
- *    PowerMoveCompiler, and fulfills every attached future. Successful
- *    results enter the LRU cache; failures propagate as exceptions
- *    through each waiting future and are never cached.
+ *    one lock, resolves it against the fast tiers: an identical job
+ *    already *in flight* (the new future attaches to it — no duplicate
+ *    work), a memory-cached result (the future is ready immediately),
+ *    or a fresh entry pushed onto the worker queue.
+ *  - A fixed pool of std::thread workers pops jobs, consults the
+ *    optional persistent disk cache (ServiceOptions::cache_dir,
+ *    service/disk_cache.hpp) and only compiles with PowerMoveCompiler
+ *    on a full miss, then fulfills every attached future. Successful
+ *    results enter the LRU memory cache and the disk cache; failures
+ *    propagate as exceptions through each waiting future and are never
+ *    cached. ServiceStats attributes every submission to its serving
+ *    tier (coalesced / memory / disk / compiled), so throughput numbers
+ *    are attributable.
  *  - Machines are interned by config fingerprint and handed out as
  *    shared_ptrs, because a MachineSchedule references its Machine: a
  *    JobResult keeps its machine alive no matter what the service does
@@ -52,6 +57,7 @@
 #include "compiler/options.hpp"
 #include "compiler/result.hpp"
 #include "service/cache.hpp"
+#include "service/disk_cache.hpp"
 
 namespace powermove::service {
 
@@ -63,6 +69,19 @@ struct CompileJob
     CompilerOptions options;
 };
 
+/** Which tier produced a JobResult. */
+enum class ResultSource : std::uint8_t
+{
+    /** A worker compiled it fresh (full cache miss). */
+    Compiled,
+    /** Attached to an identical in-flight job another submission owns. */
+    Coalesced,
+    /** Served from the in-memory LRU cache at submit time. */
+    Memory,
+    /** Deserialized from the persistent disk cache by a worker. */
+    Disk,
+};
+
 /** What a submitted job's future resolves to. */
 struct JobResult
 {
@@ -72,8 +91,10 @@ struct JobResult
     std::shared_ptr<const CompileResult> result;
     /** Content address of the job (cache key). */
     std::uint64_t fingerprint = 0;
-    /** True if submit() answered from the result cache. */
+    /** True if a cache (memory or disk) answered without compiling. */
     bool from_cache = false;
+    /** Exact serving tier. */
+    ResultSource source = ResultSource::Compiled;
 };
 
 /** One entry of a compileBatch() response. */
@@ -100,6 +121,15 @@ struct ServiceOptions
      * direct PowerMoveCompiler invocation.
      */
     bool derive_job_seeds = true;
+    /**
+     * Directory of the persistent content-addressed disk cache; empty
+     * (the default) disables the disk tier. Results stored there
+     * survive restarts and are shared with any other service instance
+     * — in this process or another — pointed at the same directory.
+     */
+    std::string cache_dir;
+    /** Disk-cache byte budget (see DiskCacheOptions::max_bytes). */
+    std::uint64_t disk_cache_bytes = 256ull << 20;
 };
 
 /** Counters snapshot; all values are cumulative since construction. */
@@ -110,16 +140,27 @@ struct ServiceStats
     std::size_t jobs_completed = 0;
     /** Jobs whose compilation threw. */
     std::size_t jobs_failed = 0;
-    /** Submissions answered immediately from the result cache. */
-    std::size_t cache_hits = 0;
-    /** Submissions that scheduled fresh work. */
-    std::size_t cache_misses = 0;
-    /** Cache entries dropped by the LRU bound. */
-    std::size_t cache_evictions = 0;
-    /** Currently resident cache entries. */
-    std::size_t cache_entries = 0;
+    /**
+     * Cache-tier attribution. Every submission resolves to exactly one
+     * of: coalesced (attached to an identical in-flight job), a memory
+     * hit (answered at submit from the LRU cache), a disk hit (a worker
+     * deserialized the persistent entry instead of compiling), or a
+     * miss (a worker compiled it — successfully or not). In-flight
+     * jobs are attributed once their worker resolves them.
+     */
+    std::size_t memory_hits = 0;
+    /** Submissions a worker served from the persistent disk cache. */
+    std::size_t disk_hits = 0;
+    /** Submissions that missed every tier and compiled fresh. */
+    std::size_t misses = 0;
     /** Submissions attached to an identical in-flight job. */
     std::size_t coalesced = 0;
+    /** Memory-cache entries dropped by the LRU bound. */
+    std::size_t cache_evictions = 0;
+    /** Currently resident memory-cache entries. */
+    std::size_t cache_entries = 0;
+    /** Disk-tier counters; all zero when no cache_dir is configured. */
+    DiskCacheStats disk;
     /**
      * Machines constructed so far. Machines are interned by config for
      * as long as any result (cached or client-held) references them; a
@@ -203,12 +244,16 @@ class CompilationService
     std::unordered_map<std::uint64_t, std::weak_ptr<const Machine>>
         machines_;
     CompileCache cache_;
+    /** Persistent tier; null when ServiceOptions::cache_dir is empty. */
+    std::shared_ptr<DiskCache> disk_;
     std::size_t machines_built_ = 0;
 
     std::size_t jobs_submitted_ = 0;
     std::size_t jobs_completed_ = 0;
     std::size_t jobs_failed_ = 0;
     std::size_t coalesced_ = 0;
+    std::size_t disk_hits_ = 0;
+    std::size_t misses_ = 0;
     std::vector<PassProfile> pass_totals_;
 
     std::vector<std::thread> workers_;

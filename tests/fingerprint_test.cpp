@@ -143,15 +143,16 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     refine.placement_refine_iters += 1;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(refine));
 
-    CompilerOptions linear_partition = base;
-    linear_partition.stage_partition = StagePartitionStrategy::Linear;
-    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(linear_partition));
+    CompilerOptions coloring_partition = base;
+    coloring_partition.stage_partition = StagePartitionStrategy::Coloring;
+    EXPECT_NE(fingerprintOptions(base),
+              fingerprintOptions(coloring_partition));
 
     CompilerOptions balanced_partition = base;
     balanced_partition.stage_partition = StagePartitionStrategy::Balanced;
     EXPECT_NE(fingerprintOptions(base),
               fingerprintOptions(balanced_partition));
-    EXPECT_NE(fingerprintOptions(linear_partition),
+    EXPECT_NE(fingerprintOptions(coloring_partition),
               fingerprintOptions(balanced_partition));
 
     CompilerOptions stage_order = base;

@@ -5,14 +5,27 @@
  * them under every configuration axis, and validates the emitted
  * machine program. Any router/grouping/scheduling bug that produces an
  * illegal or incomplete schedule fails the hardware validator here.
+ *
+ * The JobService sweep additionally randomizes the service axes —
+ * priority, deadline, and a shared on-disk cache directory — and pins
+ * the determinism contract: whatever path a job takes through the async
+ * service, its schedule is byte-identical to a single-threaded
+ * effectiveOptions() replay.
  */
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
 
 #include "compiler/powermove.hpp"
 #include "common/rng.hpp"
 #include "enola/enola.hpp"
 #include "isa/validator.hpp"
+#include "service/disk_cache.hpp"
+#include "service/job_service.hpp"
 
 namespace powermove {
 namespace {
@@ -113,6 +126,84 @@ TEST_P(PipelineFuzz, EnolaSchedulesValidate)
     const auto result = EnolaCompiler(machine, options).compile(circuit);
     EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit))
         << "seed=" << param.seed;
+}
+
+/** One disk-cache dir shared by every fuzz case that enables the tier. */
+const std::string &
+sharedFuzzCacheDir()
+{
+    static const std::string dir = [] {
+        namespace fs = std::filesystem;
+        const fs::path path =
+            fs::temp_directory_path() /
+            ("powermove_fuzz_cache_" +
+             std::to_string(static_cast<unsigned long>(::getpid())));
+        fs::remove_all(path);
+        fs::create_directories(path);
+        return path.string();
+    }();
+    return dir;
+}
+
+TEST_P(PipelineFuzz, JobServiceMatchesEffectiveOptionsReplay)
+{
+    const auto param = GetParam();
+    const Circuit circuit =
+        randomCircuit(param.num_qubits, 12, param.seed);
+    CompilerOptions options;
+    options.use_storage = param.use_storage;
+    options.num_aods = param.num_aods;
+    options.seed = param.seed * 17 + 3;
+    options.routing = param.routing;
+    options.reuse_lookahead = param.reuse_lookahead;
+    options.placement = param.placement;
+    options.stage_partition = param.stage_partition;
+    options.placement_refine_iters = 8;
+    const service::CompileJob job{
+        circuit, MachineConfig::forQubits(param.num_qubits), options};
+
+    // Randomize the service axes from the case seed: shard/worker
+    // geometry, priority, deadline, and whether the shared disk cache
+    // participates. Submitting the same job twice exercises a second
+    // tier (coalesced or memory) in the same case.
+    Rng rng(param.seed ^ 0x6a6f627376ULL); // "jobsv"
+    service::JobServiceOptions service_options;
+    service_options.num_shards = 1 + rng.nextBelow(3);
+    service_options.workers_per_shard = 1 + rng.nextBelow(2);
+    if (rng.nextBool(0.5))
+        service_options.cache_dir = sharedFuzzCacheDir();
+    const int priority = static_cast<int>(rng.nextBelow(11)) - 5;
+    // Most jobs run without a deadline or with a generous one; a slice
+    // gets a sub-microsecond deadline that may legitimately expire.
+    const double deadline_ms = rng.nextBool(0.2)   ? 1e-6
+                               : rng.nextBool(0.5) ? 60000.0
+                                                   : 0.0;
+
+    service::JobService svc(service_options);
+    service::JobTicket first = svc.submit(job, priority, deadline_ms);
+    service::JobTicket second = svc.submit(job, priority, deadline_ms);
+
+    const Machine machine(job.machine);
+    const PowerMoveCompiler direct(machine,
+                                   service::effectiveOptions(job));
+    const std::string replay_bytes =
+        service::serializeResultWitness(direct.compile(circuit));
+
+    for (service::JobTicket *ticket : {&first, &second}) {
+        try {
+            const service::JobResult out = ticket->result.get();
+            ASSERT_TRUE(out.result);
+            EXPECT_EQ(service::serializeResultWitness(*out.result), replay_bytes)
+                << "seed=" << param.seed;
+        } catch (const service::ExpiredError &) {
+            // Only the instant deadline may expire, and the record must
+            // say so.
+            EXPECT_LE(deadline_ms, 1e-6) << "seed=" << param.seed;
+            const auto status = svc.status(ticket->id);
+            ASSERT_TRUE(status.has_value());
+            EXPECT_EQ(status->state, service::JobState::Expired);
+        }
+    }
 }
 
 std::vector<FuzzCase>

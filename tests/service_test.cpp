@@ -65,9 +65,19 @@ expectIdenticalMetrics(const CompileResult &a, const CompileResult &b)
     }
 }
 
+/** ServiceOptions with just the pool size and cache capacity set. */
+ServiceOptions
+poolOptions(std::size_t workers, std::size_t cache_capacity)
+{
+    ServiceOptions options;
+    options.num_workers = workers;
+    options.cache_capacity = cache_capacity;
+    return options;
+}
+
 TEST(ServiceTest, SubmitMatchesDirectCompileWithEffectiveOptions)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     const CompileJob job = smallJob();
     const JobResult out = svc.submit(job).get();
     ASSERT_TRUE(out.result);
@@ -84,7 +94,7 @@ TEST(ServiceTest, SubmitMatchesDirectCompileWithEffectiveOptions)
 
 TEST(ServiceTest, SecondSubmissionIsServedFromCache)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     const CompileJob job = smallJob();
 
     const JobResult first = svc.submit(job).get();
@@ -98,14 +108,14 @@ TEST(ServiceTest, SecondSubmissionIsServedFromCache)
     const ServiceStats stats = svc.stats();
     EXPECT_EQ(stats.jobs_submitted, 2u);
     EXPECT_EQ(stats.jobs_completed, 1u);
-    EXPECT_EQ(stats.cache_hits, 1u);
-    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.memory_hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
     EXPECT_EQ(stats.machines_built, 1u);
 }
 
 TEST(ServiceTest, DifferentOptionsAreDifferentCacheEntries)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     CompileJob job = smallJob();
     (void)svc.submit(job).get();
 
@@ -115,14 +125,14 @@ TEST(ServiceTest, DifferentOptionsAreDifferentCacheEntries)
     EXPECT_FALSE(out.from_cache);
 
     const ServiceStats stats = svc.stats();
-    EXPECT_EQ(stats.cache_hits, 0u);
-    EXPECT_EQ(stats.cache_misses, 2u);
+    EXPECT_EQ(stats.memory_hits, 0u);
+    EXPECT_EQ(stats.misses, 2u);
     EXPECT_EQ(stats.jobs_completed, 2u);
 }
 
 TEST(ServiceTest, LruEvictionDropsTheColdestEntry)
 {
-    CompilationService svc({1, 2}); // room for two results
+    CompilationService svc(poolOptions(1, 2)); // room for two results
     (void)svc.submit(smallJob(1)).get();
     (void)svc.submit(smallJob(2)).get();
     (void)svc.submit(smallJob(3)).get(); // evicts job 1
@@ -141,7 +151,7 @@ TEST(ServiceTest, LruEvictionDropsTheColdestEntry)
 
 TEST(ServiceTest, ZeroCapacityDisablesCaching)
 {
-    CompilationService svc({2, 0});
+    CompilationService svc(poolOptions(2, 0));
     (void)svc.submit(smallJob()).get();
     const JobResult second = svc.submit(smallJob()).get();
     EXPECT_FALSE(second.from_cache);
@@ -151,7 +161,7 @@ TEST(ServiceTest, ZeroCapacityDisablesCaching)
 
 TEST(ServiceTest, ConfigErrorPropagatesThroughTheFuture)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
 
     // 9 qubits cannot fit a 2x2 compute zone in storage-free mode.
     Circuit circuit(9);
@@ -169,7 +179,7 @@ TEST(ServiceTest, ConfigErrorPropagatesThroughTheFuture)
 
 TEST(ServiceTest, CompilerConstructionErrorAlsoPropagates)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     CompileJob job = smallJob();
     job.options.num_aods = 0; // rejected by PowerMoveCompiler's ctor
     EXPECT_THROW(svc.submit(job).get(), ConfigError);
@@ -177,7 +187,7 @@ TEST(ServiceTest, CompilerConstructionErrorAlsoPropagates)
 
 TEST(ServiceTest, IdenticalSubmissionsCompileExactlyOnce)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     const CompileJob job = smallJob();
 
     std::vector<std::future<JobResult>> futures;
@@ -191,12 +201,12 @@ TEST(ServiceTest, IdenticalSubmissionsCompileExactlyOnce)
     const ServiceStats stats = svc.stats();
     EXPECT_EQ(stats.jobs_submitted, 16u);
     EXPECT_EQ(stats.jobs_completed, 1u);
-    EXPECT_EQ(stats.coalesced + stats.cache_hits, 15u);
+    EXPECT_EQ(stats.coalesced + stats.memory_hits, 15u);
 }
 
 TEST(ServiceTest, CompileBatchReportsPerJobOutcomes)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
 
     Circuit too_big(9);
     too_big.append(CzGate{0, 1});
@@ -218,7 +228,7 @@ TEST(ServiceTest, CompileBatchReportsPerJobOutcomes)
 
 TEST(ServiceTest, MachinesAreInternedAcrossJobs)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     const JobResult a = svc.submit(smallJob(1)).get();
     const JobResult b = svc.submit(smallJob(2)).get();
     EXPECT_EQ(a.machine.get(), b.machine.get());
@@ -227,7 +237,7 @@ TEST(ServiceTest, MachinesAreInternedAcrossJobs)
 
 TEST(ServiceTest, MachinesExpireOnceNothingReferencesThem)
 {
-    CompilationService svc({1, 1}); // cache holds exactly one result
+    CompilationService svc(poolOptions(1, 1)); // cache holds exactly one result
 
     // Job on config X; its JobResult (the only client ref) is dropped
     // immediately, leaving the cache entry as the machine's sole owner.
@@ -259,7 +269,7 @@ TEST(ServiceTest, CachedResultOutlivesEvictionAndService)
 {
     JobResult kept;
     {
-        CompilationService svc({1, 1});
+        CompilationService svc(poolOptions(1, 1));
         kept = svc.submit(smallJob(1)).get();
         (void)svc.submit(smallJob(2)).get(); // evicts job 1's entry
     }
@@ -272,7 +282,7 @@ TEST(ServiceTest, CachedResultOutlivesEvictionAndService)
 
 TEST(ServiceTest, WaitIdleDrainsTheQueue)
 {
-    CompilationService svc({4, 64});
+    CompilationService svc(poolOptions(4, 64));
     std::vector<std::future<JobResult>> futures;
     for (std::size_t v = 1; v <= 12; ++v)
         futures.push_back(svc.submit(smallJob(v)));
@@ -294,8 +304,8 @@ TEST(ServiceTest, FullSuiteSerialVsEightWorkersBitIdentical)
         jobs.push_back(CompileJob{spec.build(), spec.machine_config, {}});
     ASSERT_EQ(jobs.size(), 23u);
 
-    CompilationService serial({1, 64});
-    CompilationService parallel({8, 64});
+    CompilationService serial(poolOptions(1, 64));
+    CompilationService parallel(poolOptions(8, 64));
     const auto serial_out = serial.compileBatch(jobs);
     const auto parallel_out = parallel.compileBatch(jobs);
 
@@ -317,7 +327,7 @@ TEST(ServiceTest, FullSuiteSerialVsEightWorkersBitIdentical)
  */
 TEST(ServiceTest, ProfileTogglingNeverChangesTheSchedule)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
 
     const CompileJob profiled = smallJob();
     CompileJob unprofiled = smallJob();
@@ -344,7 +354,7 @@ TEST(ServiceTest, ProfileTogglingNeverChangesTheSchedule)
 /** Pass totals aggregate over worker-compiled jobs, not cache hits. */
 TEST(ServiceTest, PassTotalsAggregateAcrossJobs)
 {
-    CompilationService svc({2, 16});
+    CompilationService svc(poolOptions(2, 16));
     EXPECT_TRUE(svc.stats().pass_totals.empty());
 
     (void)svc.submit(smallJob(1)).get();
@@ -368,7 +378,7 @@ TEST(ServiceTest, ConcurrentSuiteStress)
     for (const BenchmarkSpec &spec : table2Suite())
         jobs.push_back(CompileJob{spec.build(), spec.machine_config, {}});
 
-    CompilationService svc({8, 64});
+    CompilationService svc(poolOptions(8, 64));
     constexpr std::size_t kSubmitters = 4;
     std::vector<std::vector<std::future<JobResult>>> futures(kSubmitters);
     {
@@ -396,7 +406,7 @@ TEST(ServiceTest, ConcurrentSuiteStress)
     const ServiceStats stats = svc.stats();
     EXPECT_EQ(stats.jobs_submitted, kSubmitters * jobs.size());
     EXPECT_EQ(stats.jobs_completed, jobs.size());
-    EXPECT_EQ(stats.coalesced + stats.cache_hits,
+    EXPECT_EQ(stats.coalesced + stats.memory_hits,
               (kSubmitters - 1) * jobs.size());
     EXPECT_EQ(stats.jobs_failed, 0u);
 }

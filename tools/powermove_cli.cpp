@@ -15,6 +15,19 @@
  *
  * Options:
  *   --jobs N       worker threads (default: one per hardware thread)
+ *   --jobs-async   route jobs through the async JobService (priority,
+ *                  deadline, and admission-control aware) instead of
+ *                  the blocking batch service
+ *   --cache-dir DIR  persistent on-disk compile cache: results survive
+ *                  restarts and are shared across processes pointed at
+ *                  the same directory
+ *   --priority P   job priority for every input (higher runs earlier;
+ *                  may be negative; --jobs-async only)
+ *   --deadline-ms D  per-job queue-wait bound in milliseconds; jobs
+ *                  still queued past it expire (--jobs-async only)
+ *   --max-queue N  per-shard admission bound: queued jobs beyond it are
+ *                  rejected (default 1024, 0 = unbounded;
+ *                  --jobs-async only)
  *   --num-aods N   independent AOD arrays per compilation (default 1)
  *   --no-storage   storage-free configuration (all qubits in compute)
  *   --seed S       base RNG seed (per-job streams are derived from it)
@@ -25,9 +38,9 @@
  *                  src/placement/)
  *   --placement-refine-iters N  routing-aware local-search budget in
  *                  sweeps (default 32; 0 = greedy layout only)
- *   --stage-partition S  CZ-block stage partition: coloring (default,
- *                  the paper's Sec. 4.1 edge coloring), linear (the
- *                  bit-identical graph-free scan), or balanced
+ *   --stage-partition S  CZ-block stage partition: linear (default, the
+ *                  bit-identical graph-free scan), coloring (the
+ *                  paper's Sec. 4.1 edge coloring), or balanced
  *                  (linear + stage-width rebalance)
  *   --routing R    stage-transition routing: continuous (default, the
  *                  paper's Sec. 5 router) or reuse (gate-aware atom
@@ -48,12 +61,14 @@
  * Exit status: 0 if every input compiled, 1 otherwise.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +79,7 @@
 #include "isa/validator.hpp"
 #include "qasm/converter.hpp"
 #include "report/summary.hpp"
+#include "service/job_service.hpp"
 #include "service/service.hpp"
 
 namespace {
@@ -80,6 +96,16 @@ struct CliOptions
     bool print_stats = false;
     bool print_profile = false;
     std::string out_dir;
+    /** Route jobs through the async JobService instead of the batch one. */
+    bool async = false;
+    /** Persistent disk-cache directory; empty disables the disk tier. */
+    std::string cache_dir;
+    /** Priority applied to every submission (--jobs-async only). */
+    int priority = 0;
+    /** Queue-wait deadline per job in ms; 0 = none (--jobs-async only). */
+    double deadline_ms = 0.0;
+    /** Per-shard admission bound; 0 = unbounded (--jobs-async only). */
+    std::size_t max_queue = 1024;
 };
 
 void
@@ -97,6 +123,18 @@ printUsage(std::FILE *stream)
         "\n"
         "options:\n"
         "  --jobs N       worker threads (default: hardware concurrency)\n"
+        "  --jobs-async   use the async JobService (priorities, deadlines,\n"
+        "                 admission control, sharded workers)\n"
+        "  --cache-dir DIR\n"
+        "                 persistent on-disk compile cache shared across\n"
+        "                 runs and processes\n"
+        "  --priority P   per-input job priority, higher runs earlier\n"
+        "                 (--jobs-async only; may be negative)\n"
+        "  --deadline-ms D\n"
+        "                 queue-wait bound per job in milliseconds\n"
+        "                 (--jobs-async only; 0 = none)\n"
+        "  --max-queue N  per-shard admission bound, 0 = unbounded\n"
+        "                 (--jobs-async only; default 1024)\n"
         "  --num-aods N   independent AOD arrays (default 1)\n"
         "  --no-storage   storage-free configuration\n"
         "  --seed S       base RNG seed (default 0xC0FFEE)\n"
@@ -108,9 +146,10 @@ printUsage(std::FILE *stream)
         "                 routing-aware local-search sweeps (default 32,\n"
         "                 0 = greedy only)\n"
         "  --stage-partition S\n"
-        "                 CZ-block stage partition: coloring (default),\n"
-        "                 linear (bit-identical graph-free scan), or\n"
-        "                 balanced (linear + stage-width rebalance)\n"
+        "                 CZ-block stage partition: linear (default,\n"
+        "                 bit-identical graph-free scan), coloring (the\n"
+        "                 paper's edge coloring), or balanced (linear +\n"
+        "                 stage-width rebalance)\n"
         "  --routing R    stage-transition routing: continuous (default)\n"
         "                 or reuse (gate-aware atom reuse)\n"
         "  --reuse-lookahead N\n"
@@ -173,6 +212,8 @@ expandArgs(int argc, char **argv)
         "--alpha",     "--placement",       "--routing",
         "--reuse-lookahead", "--batch-policy", "--out-dir",
         "--placement-refine-iters", "--stage-partition",
+        "--cache-dir", "--priority",        "--deadline-ms",
+        "--max-queue",
     };
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc));
@@ -245,6 +286,41 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!numeric("--jobs", i, value))
                 return false;
             cli.jobs = static_cast<std::size_t>(value);
+        } else if (arg == "--jobs-async") {
+            cli.async = true;
+        } else if (arg == "--cache-dir") {
+            if (!take_value("--cache-dir", i, text))
+                return false;
+            cli.cache_dir = text;
+        } else if (arg == "--max-queue") {
+            if (!numeric("--max-queue", i, value))
+                return false;
+            cli.max_queue = static_cast<std::size_t>(value);
+        } else if (arg == "--priority") {
+            if (!take_value("--priority", i, text))
+                return false;
+            char *end = nullptr;
+            const long priority = std::strtol(text.c_str(), &end, 0);
+            if (end == text.c_str() || *end != '\0') {
+                std::fprintf(stderr,
+                             "powermove: bad value for --priority: '%s'\n",
+                             text.c_str());
+                return false;
+            }
+            cli.priority = static_cast<int>(priority);
+        } else if (arg == "--deadline-ms") {
+            if (!take_value("--deadline-ms", i, text))
+                return false;
+            char *end = nullptr;
+            const double deadline = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || deadline < 0.0) {
+                std::fprintf(stderr,
+                             "powermove: --deadline-ms must be >= 0, got "
+                             "'%s'\n",
+                             text.c_str());
+                return false;
+            }
+            cli.deadline_ms = deadline;
         } else if (arg == "--num-aods") {
             if (!numeric("--num-aods", i, value))
                 return false;
@@ -384,7 +460,43 @@ main(int argc, char **argv)
         }
     }
 
-    service::CompilationService svc({cli.jobs, /*cache_capacity=*/256});
+    // Exactly one of the two services exists, per --jobs-async. Both
+    // resolve futures of the same JobResult type, so the reporting loop
+    // below is shared.
+    std::unique_ptr<service::CompilationService> svc;
+    std::unique_ptr<service::JobService> async_svc;
+    if (cli.async) {
+        service::JobServiceOptions options;
+        options.cache_capacity = 256;
+        options.max_queue = cli.max_queue;
+        options.cache_dir = cli.cache_dir;
+        if (cli.jobs != 0) {
+            // --jobs bounds total workers in async mode too: one shard
+            // per worker up to 4 shards, the rest as per-shard workers.
+            options.num_shards = std::min<std::size_t>(cli.jobs, 4);
+            options.workers_per_shard =
+                std::max<std::size_t>(1, cli.jobs / options.num_shards);
+        }
+        async_svc = std::make_unique<service::JobService>(options);
+    } else {
+        service::ServiceOptions options;
+        options.num_workers = cli.jobs;
+        options.cache_capacity = 256;
+        options.cache_dir = cli.cache_dir;
+        svc = std::make_unique<service::CompilationService>(options);
+    }
+
+    const auto submit_job = [&](Circuit circuit, const MachineConfig &config) {
+        if (async_svc) {
+            service::JobRequest request;
+            request.job =
+                service::CompileJob{std::move(circuit), config, cli.compiler};
+            request.priority = cli.priority;
+            request.deadline_ms = cli.deadline_ms;
+            return async_svc->submit(std::move(request)).result;
+        }
+        return svc->submit(std::move(circuit), config, cli.compiler);
+    };
 
     // Load every input and submit it immediately, so the pool compiles
     // early files while later ones are still being parsed.
@@ -410,8 +522,7 @@ main(int argc, char **argv)
             const MachineConfig config =
                 MachineConfig::forQubits(circuit.numQubits());
             flight.circuit = circuit;
-            flight.future =
-                svc.submit(std::move(circuit), config, cli.compiler);
+            flight.future = submit_job(std::move(circuit), config);
         } catch (const std::exception &e) {
             flight.load_error = e.what();
         }
@@ -466,16 +577,42 @@ main(int argc, char **argv)
         }
     }
 
-    if (cli.print_stats) {
-        const service::ServiceStats stats = svc.stats();
+    if (cli.print_stats && async_svc) {
+        const service::JobServiceStats stats = async_svc->stats();
+        std::printf("job service: %zu shards x %zu workers; %zu submitted; "
+                    "tiers: %zu coalesced / %zu memory / %zu disk / "
+                    "%zu compiled; %zu failed, %zu rejected, %zu expired\n",
+                    stats.num_shards, stats.workers_per_shard,
+                    stats.submitted, stats.coalesced, stats.memory_hits,
+                    stats.disk_hits, stats.compiled, stats.failed,
+                    stats.rejected, stats.expired);
+        if (!cli.cache_dir.empty())
+            std::printf("disk cache: %zu hit / %zu miss / %zu stored / "
+                        "%zu corrupt / %zu evicted (%zu entries, %llu "
+                        "bytes)\n",
+                        stats.disk.hits, stats.disk.misses, stats.disk.stores,
+                        stats.disk.corrupt, stats.disk.evictions,
+                        stats.disk.entries,
+                        static_cast<unsigned long long>(stats.disk.bytes));
+    } else if (cli.print_stats) {
+        const service::ServiceStats stats = svc->stats();
         std::printf("service: %zu workers; %zu submitted, %zu compiled, "
-                    "%zu failed; cache %zu hit / %zu miss / %zu evicted "
-                    "(%zu resident); %zu coalesced; %zu machines\n",
+                    "%zu failed; tiers: %zu coalesced / %zu memory / "
+                    "%zu disk / %zu miss; %zu evicted (%zu resident); "
+                    "%zu machines\n",
                     stats.num_workers, stats.jobs_submitted,
-                    stats.jobs_completed, stats.jobs_failed, stats.cache_hits,
-                    stats.cache_misses, stats.cache_evictions,
-                    stats.cache_entries, stats.coalesced,
+                    stats.jobs_completed, stats.jobs_failed, stats.coalesced,
+                    stats.memory_hits, stats.disk_hits, stats.misses,
+                    stats.cache_evictions, stats.cache_entries,
                     stats.machines_built);
+        if (!cli.cache_dir.empty())
+            std::printf("disk cache: %zu hit / %zu miss / %zu stored / "
+                        "%zu corrupt / %zu evicted (%zu entries, %llu "
+                        "bytes)\n",
+                        stats.disk.hits, stats.disk.misses, stats.disk.stores,
+                        stats.disk.corrupt, stats.disk.evictions,
+                        stats.disk.entries,
+                        static_cast<unsigned long long>(stats.disk.bytes));
         if (cli.print_profile) {
             std::printf("service pass totals:\n%s",
                         formatPassProfiles(stats.pass_totals).c_str());
