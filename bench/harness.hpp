@@ -6,12 +6,15 @@
 #ifndef POWERMOVE_BENCH_HARNESS_HPP
 #define POWERMOVE_BENCH_HARNESS_HPP
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "compiler/powermove.hpp"
 #include "enola/enola.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/suite.hpp"
 
 namespace powermove::bench {
@@ -69,6 +72,66 @@ minOfNWallMicros(Fn &&fn, int repeats = 3)
             best = micros;
     }
     return best;
+}
+
+/** Wall-clock distribution of repeated runs, in microseconds. */
+struct WallStats
+{
+    /** The regression-gate statistic (see minOfNWallMicros). */
+    double min_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    /** Raw per-run timings, in run order. */
+    std::vector<double> samples_us;
+};
+
+/**
+ * min + p50/p95/p99 of @p samples_us. The percentiles use
+ * obs::percentileOfSorted — the same fractional-rank
+ * linear-interpolation quantile the live latency histograms
+ * (obs::Histogram::percentile) approximate — so a bench report and a
+ * metrics export answer "p95" identically. min stays the gate
+ * statistic; the percentiles describe the noise around it. Exposed
+ * separately from wallStatsMicros for harnesses that collect samples
+ * themselves (e.g. interleaving several configurations per round so
+ * machine drift hits all of them equally).
+ */
+inline WallStats
+wallStatsFromSamples(std::vector<double> samples_us)
+{
+    WallStats stats;
+    stats.samples_us = std::move(samples_us);
+    std::vector<double> sorted = stats.samples_us;
+    std::sort(sorted.begin(), sorted.end());
+    stats.min_us = sorted.empty() ? 0.0 : sorted.front();
+    stats.p50_us = obs::percentileOfSorted(sorted, 0.50);
+    stats.p95_us = obs::percentileOfSorted(sorted, 0.95);
+    stats.p99_us = obs::percentileOfSorted(sorted, 0.99);
+    return stats;
+}
+
+/** One timed call of fn(), in wall microseconds on steady_clock. */
+template <typename Fn>
+double
+onceWallMicros(Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(stop - start).count();
+}
+
+/** Times fn() @p repeats times; see wallStatsFromSamples. */
+template <typename Fn>
+WallStats
+wallStatsMicros(Fn &&fn, int repeats = 3)
+{
+    std::vector<double> samples_us;
+    samples_us.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i)
+        samples_us.push_back(onceWallMicros(fn));
+    return wallStatsFromSamples(std::move(samples_us));
 }
 
 /** snprintf into a std::string, e.g. fmt(1.5, "%.1f") == "1.5". */

@@ -1,0 +1,190 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+namespace powermove::obs {
+
+namespace {
+
+/** True when @p value can travel bare (no spaces, quotes, or '='). */
+bool
+isBareValue(std::string_view value)
+{
+    if (value.empty())
+        return false;
+    for (const char c : value)
+        if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t')
+            return false;
+    return true;
+}
+
+std::string
+quoteValue(std::string_view value)
+{
+    std::string out = "\"";
+    for (const char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** UTC wall-clock timestamp with microseconds, RFC 3339 shaped. */
+std::string
+formatTimestamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000000;
+    std::tm tm{};
+    gmtime_r(&seconds, &tm);
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%06lldZ", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                  tm.tm_sec, static_cast<long long>(micros));
+    return buffer;
+}
+
+} // namespace
+
+std::string_view
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Trace:
+        return "trace";
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        return "off";
+    }
+    return "unknown";
+}
+
+bool
+parseLogLevel(std::string_view text, LogLevel &out)
+{
+    for (const LogLevel level :
+         {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        if (text == logLevelName(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
+LogField::LogField(std::string_view key, std::string_view value)
+    : key(key), value(value), quote(!isBareValue(value))
+{
+}
+
+LogField::LogField(std::string_view key, const char *value)
+    : LogField(key, std::string_view(value))
+{
+}
+
+LogField::LogField(std::string_view key, const std::string &value)
+    : LogField(key, std::string_view(value))
+{
+}
+
+LogField::LogField(std::string_view key, int value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, unsigned value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, long value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, unsigned long value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, long long value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, unsigned long long value)
+    : key(key), value(std::to_string(value))
+{
+}
+
+LogField::LogField(std::string_view key, double value) : key(key)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    this->value = buffer;
+}
+
+Logger::Logger(LogLevel min_level, std::FILE *out)
+    : level_(static_cast<int>(min_level)), out_(out)
+{
+}
+
+void
+Logger::log(LogLevel level, std::string_view event,
+            std::initializer_list<LogField> fields)
+{
+    if (!enabled(level) || level == LogLevel::Off)
+        return;
+    std::string line = "ts=";
+    line += formatTimestamp();
+    line += " level=";
+    line += logLevelName(level);
+    line += " event=";
+    line += isBareValue(event) ? std::string(event) : quoteValue(event);
+    for (const LogField &field : fields) {
+        line += ' ';
+        line += field.key;
+        line += '=';
+        line += field.quote ? quoteValue(field.value) : field.value;
+    }
+    line += '\n';
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::fwrite(line.data(), 1, line.size(), out_);
+        std::fflush(out_);
+    }
+    lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace powermove::obs

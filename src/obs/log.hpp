@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Leveled structured logger emitting one key=value line per event.
+ *
+ * Lines are machine-parsable logfmt:
+ *
+ *   ts=2026-08-08T12:34:56.123456Z level=warn event=slow_job job=42 \
+ *       total_ms=1287.3
+ *
+ * The level check is one relaxed atomic load, so call sites may guard
+ * expensive field construction with enabled(); a disabled logger costs
+ * a branch. Line assembly and the single write() happen under a mutex
+ * so concurrent events never interleave mid-line.
+ */
+
+#ifndef POWERMOVE_OBS_LOG_HPP
+#define POWERMOVE_OBS_LOG_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace powermove::obs {
+
+/** Severity levels, least to most severe; Off disables everything. */
+enum class LogLevel : int
+{
+    Trace = 0,
+    Debug,
+    Info,
+    Warn,
+    Error,
+    Off,
+};
+
+/** Stable lower-case name, e.g. "warn". */
+std::string_view logLevelName(LogLevel level);
+
+/** Parses "trace".."error"/"off" into @p out; false on anything else. */
+bool parseLogLevel(std::string_view text, LogLevel &out);
+
+/** One key plus a pre-rendered value for a log line. */
+struct LogField
+{
+    LogField(std::string_view key, std::string_view value);
+    LogField(std::string_view key, const char *value);
+    LogField(std::string_view key, const std::string &value);
+    // The fundamental integer types rather than the fixed-width
+    // aliases: int64_t/uint64_t/size_t collapse onto the same
+    // fundamentals per platform, which would duplicate an overload.
+    LogField(std::string_view key, int value);
+    LogField(std::string_view key, unsigned value);
+    LogField(std::string_view key, long value);
+    LogField(std::string_view key, unsigned long value);
+    LogField(std::string_view key, long long value);
+    LogField(std::string_view key, unsigned long long value);
+    LogField(std::string_view key, double value);
+
+    std::string_view key;
+    std::string value;
+    /** True when the value needs quoting (spaces, quotes, '='). */
+    bool quote = false;
+};
+
+/** Thread-safe leveled logfmt logger. */
+class Logger
+{
+  public:
+    /**
+     * @param min_level events below this are dropped
+     * @param out destination stream (not owned); stderr by default
+     */
+    explicit Logger(LogLevel min_level = LogLevel::Info,
+                    std::FILE *out = stderr);
+
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+    LogLevel level() const
+    {
+        return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+    }
+
+    void setLevel(LogLevel level)
+    {
+        level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    }
+
+    /** True when an event at @p level would be emitted. */
+    bool
+    enabled(LogLevel level) const
+    {
+        return level != LogLevel::Off &&
+               static_cast<int>(level) >=
+                   level_.load(std::memory_order_relaxed);
+    }
+
+    /** Emits one line: ts, level, event, then @p fields in order. */
+    void log(LogLevel level, std::string_view event,
+             std::initializer_list<LogField> fields = {});
+
+    void
+    debug(std::string_view event, std::initializer_list<LogField> fields = {})
+    {
+        log(LogLevel::Debug, event, fields);
+    }
+
+    void
+    info(std::string_view event, std::initializer_list<LogField> fields = {})
+    {
+        log(LogLevel::Info, event, fields);
+    }
+
+    void
+    warn(std::string_view event, std::initializer_list<LogField> fields = {})
+    {
+        log(LogLevel::Warn, event, fields);
+    }
+
+    void
+    error(std::string_view event, std::initializer_list<LogField> fields = {})
+    {
+        log(LogLevel::Error, event, fields);
+    }
+
+    /** Lines emitted (post-filter); cheap liveness probe for tests. */
+    std::uint64_t linesWritten() const
+    {
+        return lines_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int> level_;
+    std::FILE *out_;
+    std::mutex mutex_;
+    std::atomic<std::uint64_t> lines_{0};
+};
+
+} // namespace powermove::obs
+
+#endif // POWERMOVE_OBS_LOG_HPP

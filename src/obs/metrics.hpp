@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Lock-sharded metrics registry: counters, gauges, and fixed-boundary
+ * latency histograms with machine-readable exports.
+ *
+ * Every signal the service and pipeline layers publish flows through
+ * one MetricsRegistry:
+ *
+ *  - Registration (counter()/gauge()/histogram()) resolves a
+ *    (name, labels) series to a stable handle under one of a fixed set
+ *    of shard locks; the hot path then touches only that handle's
+ *    atomics — no lock, no lookup, no allocation. Callers resolve
+ *    handles once (at service construction) and keep the pointers.
+ *  - Histograms use fixed upper-boundary buckets (Prometheus
+ *    cumulative-bucket style) so observation is a binary search plus
+ *    two relaxed atomic adds, and p50/p95/p99 are estimated by linear
+ *    interpolation inside the owning bucket — the same quantile
+ *    definition percentileOfSorted() applies to raw samples, which is
+ *    how the bench harness and the live histograms stay comparable.
+ *  - Export renders the whole registry as Prometheus text exposition
+ *    (toPrometheusText) or JSON (toJson). Exports take each shard lock
+ *    only to walk the series list; values are atomic snapshots, so a
+ *    scrape never stalls the instrumented hot paths.
+ *
+ * Thread safety: every public member of every type here may be called
+ * from any thread. Counter/Gauge/Histogram handles returned by the
+ * registry stay valid for the registry's lifetime.
+ */
+
+#ifndef POWERMOVE_OBS_METRICS_HPP
+#define POWERMOVE_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace powermove::obs {
+
+/** One metric series' label set, in fixed (registration) order. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Point-in-time level; set() and add() may interleave freely. */
+class Gauge
+{
+  public:
+    void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+    void
+    add(double delta)
+    {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-boundary latency histogram. Bucket i counts observations
+ * <= bounds[i]; one implicit +Inf bucket catches the rest. Boundaries
+ * are fixed at registration so concurrent observation needs no
+ * rebucketing and export needs no coordination.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds strictly increasing upper boundaries; may be empty. */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    /** Observations so far. */
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of observed values. */
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Upper boundaries (excluding the implicit +Inf). */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Snapshot of per-bucket counts, bounds() first, +Inf last. */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    /**
+     * Estimated q-quantile (q in [0, 1]): the owning bucket is found by
+     * cumulative count and the value interpolated linearly inside it.
+     * Observations beyond the last boundary clamp to it. Zero when
+     * empty.
+     */
+    double percentile(double q) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_; // bounds + Inf
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * The q-quantile (q in [0, 1]) of an ascending-sorted sample set by
+ * linear interpolation between adjacent order statistics — the same
+ * quantile definition Histogram::percentile() applies inside a bucket,
+ * so bench-harness percentiles over raw samples and registry histogram
+ * percentiles agree on methodology. Zero for an empty set.
+ */
+double percentileOfSorted(const std::vector<double> &sorted, double q);
+
+/** Default microsecond latency boundaries: 100us .. 30s, log-spaced. */
+std::vector<double> defaultLatencyBoundsUs();
+
+/** Finer microsecond boundaries for per-pass wall times: 10us .. 1s. */
+std::vector<double> passWallBoundsUs();
+
+/**
+ * The registry. Series keys are (name, labels); re-registering an
+ * existing key returns the existing handle (histogram boundaries of
+ * the first registration win). Registering one key as two different
+ * kinds throws Error.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(std::string_view name, const Labels &labels = {});
+    Gauge &gauge(std::string_view name, const Labels &labels = {});
+    Histogram &histogram(std::string_view name, std::vector<double> bounds,
+                         const Labels &labels = {});
+
+    /**
+     * Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+     * family, series sorted by name then label string, histograms as
+     * cumulative `_bucket{le=...}` plus `_sum`/`_count`.
+     */
+    std::string toPrometheusText() const;
+
+    /**
+     * JSON export: {"counters": [...], "gauges": [...], "histograms":
+     * [...]}, each series with its name, labels, and value(s);
+     * histograms carry buckets, sum, count, and p50/p95/p99.
+     */
+    std::string toJson() const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Series
+    {
+        std::string name;
+        Labels labels;
+        /** Canonical `k="v",k2="v2"` form of labels (may be empty). */
+        std::string label_text;
+        Kind kind = Kind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    static constexpr std::size_t kNumShards = 8;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Registration order; export re-sorts. Pointers are stable. */
+        std::vector<std::unique_ptr<Series>> series;
+    };
+
+    Series &resolve(std::string_view name, const Labels &labels, Kind kind,
+                    std::vector<double> *bounds);
+
+    /** Pointers to every series, sorted by (name, label_text). */
+    std::vector<const Series *> sortedSeries() const;
+
+    std::vector<Shard> shards_;
+};
+
+} // namespace powermove::obs
+
+#endif // POWERMOVE_OBS_METRICS_HPP

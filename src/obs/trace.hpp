@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Span collection exported as Chrome trace-event JSON.
+ *
+ * A TraceCollector accumulates complete ("X") and instant ("i") events
+ * against one steady-clock epoch fixed at construction, then renders
+ * them as the Chrome trace-event JSON object format — loadable directly
+ * in Perfetto (ui.perfetto.dev) or chrome://tracing. The service layer
+ * stitches per-job spans into it: one lane (tid) per job, with the
+ * job's lifecycle states, its per-pass compile spans, and its
+ * cache-tier reads/writes as nested spans (see service/observe.hpp).
+ *
+ * Collection is mutex-guarded append; events are recorded at job
+ * resolution (not per pass invocation), so the collector is never on a
+ * compile hot path.
+ */
+
+#ifndef POWERMOVE_OBS_TRACE_HPP
+#define POWERMOVE_OBS_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace powermove::obs {
+
+/** One Chrome trace event. */
+struct TraceEvent
+{
+    std::string name;
+    /** Comma-free category tag, e.g. "job", "pass", "cache". */
+    std::string cat;
+    /** 'X' (complete, has dur_us) or 'i' (instant). */
+    char phase = 'X';
+    /** Microseconds since the collector's epoch. */
+    double ts_us = 0.0;
+    /** Duration in microseconds; complete events only. */
+    double dur_us = 0.0;
+    /** Process lane; the service uses one pid for everything. */
+    std::uint64_t pid = 1;
+    /** Thread lane; the service uses the job id. */
+    std::uint64_t tid = 0;
+    /** Free-form key/value annotations, emitted as strings. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Thread-safe trace-event accumulator with a fixed epoch. */
+class TraceCollector
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Fixes the trace epoch at now(). */
+    TraceCollector();
+
+    TraceCollector(const TraceCollector &) = delete;
+    TraceCollector &operator=(const TraceCollector &) = delete;
+
+    /** Microseconds of @p at since the epoch (negative if earlier). */
+    double tsOf(Clock::time_point at) const;
+
+    void add(TraceEvent event);
+
+    /** Appends a complete span covering [start, end]. */
+    void addComplete(std::string name, std::string cat, std::uint64_t tid,
+                     Clock::time_point start, Clock::time_point end,
+                     std::vector<std::pair<std::string, std::string>> args =
+                         {});
+
+    /** Appends an instant event at @p at. */
+    void addInstant(std::string name, std::string cat, std::uint64_t tid,
+                    Clock::time_point at,
+                    std::vector<std::pair<std::string, std::string>> args =
+                        {});
+
+    /** Events recorded so far. */
+    std::size_t size() const;
+
+    /**
+     * The Chrome trace-event JSON object format:
+     * {"traceEvents": [...], "displayTimeUnit": "ms"}, events sorted by
+     * timestamp.
+     */
+    std::string toChromeTraceJson() const;
+
+  private:
+    Clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace powermove::obs
+
+#endif // POWERMOVE_OBS_TRACE_HPP

@@ -511,10 +511,27 @@ deserializeCompileResult(std::string_view payload, const Machine &machine)
 }
 
 DiskCache::DiskCache(DiskCacheOptions options)
-    : dir_(options.dir), max_bytes_(options.max_bytes)
+    : dir_(options.dir), max_bytes_(options.max_bytes),
+      obs_(std::move(options.obs))
 {
     if (dir_.empty())
         throw ConfigError("disk cache directory must not be empty");
+    if (obs_ != nullptr) {
+        obs::MetricsRegistry &reg = obs_->metrics;
+        metric_.hits = &reg.counter("powermove_disk_cache_hits_total");
+        metric_.misses = &reg.counter("powermove_disk_cache_misses_total");
+        metric_.stores = &reg.counter("powermove_disk_cache_stores_total");
+        metric_.corrupt = &reg.counter("powermove_disk_cache_corrupt_total");
+        metric_.evictions =
+            &reg.counter("powermove_disk_cache_evictions_total");
+        metric_.read_bytes =
+            &reg.counter("powermove_disk_cache_read_bytes_total");
+        metric_.write_bytes =
+            &reg.counter("powermove_disk_cache_write_bytes_total");
+        metric_.entries = &reg.gauge("powermove_disk_cache_entries");
+        metric_.resident_bytes =
+            &reg.gauge("powermove_disk_cache_resident_bytes");
+    }
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec)
@@ -558,9 +575,21 @@ DiskCache::DiskCache(DiskCacheOptions options)
     for (const Found &entry : found)
         indexEntry(entry.fingerprint, entry.bytes, lock);
     const std::vector<std::filesystem::path> victims = collectEvictions(lock);
+    const std::size_t entries = index_.size();
+    const std::uint64_t resident = resident_bytes_;
     lock.unlock();
     for (const std::filesystem::path &victim : victims)
         std::filesystem::remove(victim, ec);
+    if (obs_ != nullptr) {
+        if (!victims.empty())
+            metric_.evictions->add(victims.size());
+        publishResidency(entries, resident);
+        obs_->log.info("disk_cache_open",
+                       {{"dir", dir_.string()},
+                        {"entries", entries},
+                        {"bytes", resident},
+                        {"swept", victims.size()}});
+    }
 }
 
 std::filesystem::path
@@ -583,6 +612,8 @@ DiskCache::load(std::uint64_t fingerprint, const Machine &machine)
     {
         std::FILE *file = std::fopen(path.c_str(), "rb");
         if (file == nullptr) {
+            if (obs_ != nullptr)
+                metric_.misses->add(1);
             const std::lock_guard<std::mutex> lock(mutex_);
             ++misses_;
             return nullptr;
@@ -617,14 +648,33 @@ DiskCache::load(std::uint64_t fingerprint, const Machine &machine)
         ++misses_;
         ++corrupt_;
         dropIndexEntry(fingerprint);
+        const std::size_t entries = index_.size();
+        const std::uint64_t resident = resident_bytes_;
         lock.unlock();
         std::error_code ec;
         std::filesystem::remove(path, ec);
+        if (obs_ != nullptr) {
+            metric_.misses->add(1);
+            metric_.corrupt->add(1);
+            metric_.read_bytes->add(blob.size());
+            publishResidency(entries, resident);
+            obs_->log.warn("disk_cache_corrupt",
+                           {{"path", path.string()},
+                            {"bytes", blob.size()}});
+        }
         return nullptr;
     }
     ++hits_;
     // Refresh recency (and adopt entries another process wrote).
     indexEntry(fingerprint, blob.size(), lock);
+    const std::size_t entries = index_.size();
+    const std::uint64_t resident = resident_bytes_;
+    lock.unlock();
+    if (obs_ != nullptr) {
+        metric_.hits->add(1);
+        metric_.read_bytes->add(blob.size());
+        publishResidency(entries, resident);
+    }
     return result;
 }
 
@@ -679,9 +729,22 @@ DiskCache::store(std::uint64_t fingerprint, const CompileResult &result)
     ++stores_;
     indexEntry(fingerprint, blob.size(), lock);
     const std::vector<std::filesystem::path> victims = collectEvictions(lock);
+    const std::size_t entries = index_.size();
+    const std::uint64_t resident = resident_bytes_;
     lock.unlock();
     for (const std::filesystem::path &victim : victims)
         std::filesystem::remove(victim, ec);
+    if (obs_ != nullptr) {
+        metric_.stores->add(1);
+        metric_.write_bytes->add(blob.size());
+        if (!victims.empty()) {
+            metric_.evictions->add(victims.size());
+            obs_->log.debug("disk_cache_evict",
+                            {{"victims", victims.size()},
+                             {"bytes", resident}});
+        }
+        publishResidency(entries, resident);
+    }
 }
 
 bool
@@ -730,6 +793,15 @@ DiskCache::dropIndexEntry(std::uint64_t fingerprint)
     resident_bytes_ -= it->second.bytes;
     order_.erase(it->second.position);
     index_.erase(it);
+}
+
+void
+DiskCache::publishResidency(std::size_t entries, std::uint64_t bytes)
+{
+    if (obs_ == nullptr)
+        return;
+    metric_.entries->set(static_cast<double>(entries));
+    metric_.resident_bytes->set(static_cast<double>(bytes));
 }
 
 std::vector<std::filesystem::path>

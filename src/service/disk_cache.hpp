@@ -50,6 +50,7 @@
 
 #include "arch/machine.hpp"
 #include "compiler/result.hpp"
+#include "obs/observability.hpp"
 
 namespace powermove::service {
 
@@ -60,6 +61,8 @@ struct DiskCacheOptions
     std::string dir;
     /** Resident byte budget across all entries; 0 disables storing. */
     std::uint64_t max_bytes = 256ull << 20;
+    /** Observability bundle; null leaves the cache uninstrumented. */
+    std::shared_ptr<obs::Observability> obs;
 };
 
 /** Counters snapshot; cumulative since construction except residency. */
@@ -143,8 +146,27 @@ class DiskCache
     std::vector<std::filesystem::path>
     collectEvictions(std::unique_lock<std::mutex> &lock);
 
+    /** Publishes residency gauges; no-op when observability is off. */
+    void publishResidency(std::size_t entries, std::uint64_t bytes);
+
     std::filesystem::path dir_;
     std::uint64_t max_bytes_;
+
+    /** Null when observability is off; handles resolved at construction. */
+    std::shared_ptr<obs::Observability> obs_;
+    struct MetricHandles
+    {
+        obs::Counter *hits = nullptr;
+        obs::Counter *misses = nullptr;
+        obs::Counter *stores = nullptr;
+        obs::Counter *corrupt = nullptr;
+        obs::Counter *evictions = nullptr;
+        obs::Counter *read_bytes = nullptr;
+        obs::Counter *write_bytes = nullptr;
+        obs::Gauge *entries = nullptr;
+        obs::Gauge *resident_bytes = nullptr;
+    };
+    MetricHandles metric_;
 
     mutable std::mutex mutex_;
     struct IndexEntry

@@ -1,6 +1,7 @@
 #include "service/job_service.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "compiler/powermove.hpp"
 #include "service/fingerprint.hpp"
@@ -17,13 +18,27 @@ JobService::JobService(JobServiceOptions options) : options_(std::move(options))
         options_.workers_per_shard =
             std::max<std::size_t>(1, hw / options_.num_shards);
 
+    obs_ = options_.obs;
+    if (obs_ != nullptr)
+        metric_ = std::make_unique<ServiceMetricHandles>(obs_->metrics);
+
     if (!options_.cache_dir.empty())
         disk_ = std::make_shared<DiskCache>(DiskCacheOptions{
-            options_.cache_dir, options_.disk_cache_bytes});
+            options_.cache_dir, options_.disk_cache_bytes, obs_});
 
     shards_.reserve(options_.num_shards);
-    for (std::size_t s = 0; s < options_.num_shards; ++s)
+    for (std::size_t s = 0; s < options_.num_shards; ++s) {
         shards_.push_back(std::make_unique<Shard>(options_.cache_capacity));
+        if (obs_ != nullptr)
+            shards_.back()->depth_gauge = &obs_->metrics.gauge(
+                "powermove_shard_queue_depth", {{"shard", std::to_string(s)}});
+    }
+    if (obs_ != nullptr)
+        obs_->log.info("job_service_start",
+                       {{"shards", options_.num_shards},
+                        {"workers_per_shard", options_.workers_per_shard},
+                        {"max_queue", options_.max_queue},
+                        {"cache_dir", options_.cache_dir}});
     // Workers start only after every shard exists: a worker touches no
     // shard but its own, so construction order cannot race.
     for (const auto &shard : shards_) {
@@ -69,6 +84,8 @@ JobService::submit(JobRequest request)
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++submitted_;
     }
+    if (metric_ != nullptr)
+        metric_->submitted->add(1);
     createRecord(id, fingerprint, request.priority);
 
     Waiter waiter;
@@ -105,6 +122,10 @@ JobService::submit(JobRequest request)
             const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             ++coalesced_;
         }
+        if (metric_ != nullptr)
+            metric_->tier_total[static_cast<std::size_t>(
+                                    TierIndex::Coalesced)]
+                ->add(1);
         recordState(id, JobState::Admitted);
         shard.work_ready.notify_one();
         return JobTicket{id, std::move(future)};
@@ -117,7 +138,11 @@ JobService::submit(JobRequest request)
             const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
             ++memory_hits_;
         }
-        recordState(id, JobState::Cached);
+        if (metric_ != nullptr)
+            metric_->tier_total[static_cast<std::size_t>(TierIndex::Memory)]
+                ->add(1);
+        recordState(id, JobState::Cached, {}, "memory");
+        traceJob(id, "memory");
         waiter.promise.set_value(JobResult{std::move(cached.machine),
                                            std::move(cached.result),
                                            fingerprint, true,
@@ -137,6 +162,7 @@ JobService::submit(JobRequest request)
             "rejected: shard queue full (" +
             std::to_string(options_.max_queue) + " jobs queued)";
         recordState(id, JobState::Rejected, reason);
+        traceJob(id, {});
         waiter.promise.set_exception(
             std::make_exception_ptr(RejectedError(reason)));
         return JobTicket{id, std::move(future)};
@@ -150,6 +176,8 @@ JobService::submit(JobRequest request)
     shard.queue.push(QueueEntry{pending.priority, pending.seq, fingerprint});
     shard.pending.emplace(fingerprint, std::move(pending));
     ++shard.queued_jobs;
+    if (shard.depth_gauge != nullptr)
+        shard.depth_gauge->set(static_cast<double>(shard.queued_jobs));
     lock.unlock();
 
     recordState(id, JobState::Admitted);
@@ -191,10 +219,17 @@ JobService::stats() const
         stats.compiled = compiled_;
         stats.failed = failed_;
     }
+    std::size_t min_depth = std::numeric_limits<std::size_t>::max();
+    std::size_t max_depth = 0;
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
         stats.queued += shard->pending.size();
+        min_depth = std::min(min_depth, shard->queued_jobs);
+        max_depth = std::max(max_depth, shard->queued_jobs);
     }
+    if (metric_ != nullptr)
+        metric_->shard_imbalance->set(
+            static_cast<double>(max_depth - min_depth));
     stats.num_shards = options_.num_shards;
     stats.workers_per_shard = options_.workers_per_shard;
     if (disk_)
@@ -211,30 +246,108 @@ JobService::createRecord(JobId id, std::uint64_t fingerprint, int priority)
     record.priority = priority;
     record.state = JobState::Queued;
     record.timeline.record(JobState::Queued);
+    if (metric_ != nullptr)
+        metric_->state_total[static_cast<std::size_t>(JobState::Queued)]
+            ->add(1);
     const std::lock_guard<std::mutex> lock(records_mutex_);
     records_.emplace(id, std::move(record));
 }
 
 void
-JobService::recordState(JobId id, JobState state, std::string error)
+JobService::recordState(JobId id, JobState state, std::string error,
+                        std::string detail)
 {
-    const std::lock_guard<std::mutex> lock(records_mutex_);
-    const auto it = records_.find(id);
-    if (it == records_.end())
-        return; // already pruned
-    it->second.state = state;
-    it->second.timeline.record(state);
-    if (!error.empty())
-        it->second.error = std::move(error);
-    if (!jobStateIsTerminal(state))
-        return;
-    finished_order_.push_back(id);
-    if (options_.max_finished_records == 0)
-        return;
-    while (finished_order_.size() > options_.max_finished_records) {
-        records_.erase(finished_order_.front());
-        finished_order_.pop_front();
+    const bool terminal = jobStateIsTerminal(state);
+    int priority = 0;
+    double wait_us = 0.0;
+    double run_us = -1.0;
+    double total_ms = 0.0;
+    std::string log_error;
+    if (obs_ != nullptr)
+        log_error = error;
+    {
+        const std::lock_guard<std::mutex> lock(records_mutex_);
+        const auto it = records_.find(id);
+        if (it == records_.end())
+            return; // already pruned
+        it->second.state = state;
+        it->second.timeline.record(state, std::move(detail));
+        if (!error.empty())
+            it->second.error = std::move(error);
+        if (terminal) {
+            priority = it->second.priority;
+            if (obs_ != nullptr) {
+                // Wait covers the queue (submit to Running, or the
+                // whole record when the job never ran); run covers the
+                // worker (Running to terminal).
+                const Timeline &timeline = it->second.timeline;
+                if (timeline.find(JobState::Running) != nullptr) {
+                    wait_us = timeline
+                                  .between(JobState::Queued,
+                                           JobState::Running)
+                                  .micros();
+                    run_us =
+                        timeline.between(JobState::Running, state).micros();
+                } else {
+                    wait_us = timeline.total().micros();
+                }
+                total_ms = timeline.total().micros() / 1000.0;
+            }
+            finished_order_.push_back(id);
+            if (options_.max_finished_records != 0) {
+                while (finished_order_.size() >
+                       options_.max_finished_records) {
+                    records_.erase(finished_order_.front());
+                    finished_order_.pop_front();
+                }
+            }
+        }
     }
+    if (obs_ == nullptr)
+        return;
+    metric_->state_total[static_cast<std::size_t>(state)]->add(1);
+    if (!terminal)
+        return;
+    const std::size_t cls = priorityClassIndex(priority);
+    metric_->wait_us[cls]->observe(wait_us);
+    if (run_us >= 0.0)
+        metric_->run_us[cls]->observe(run_us);
+    if (options_.slow_job_ms > 0.0 && total_ms >= options_.slow_job_ms)
+        obs_->log.warn("slow_job", {{"job", id},
+                                    {"state", jobStateName(state)},
+                                    {"total_ms", total_ms},
+                                    {"priority", priority}});
+    if (obs_->log.enabled(obs::LogLevel::Debug)) {
+        if (log_error.empty())
+            obs_->log.debug("job_finished",
+                            {{"job", id},
+                             {"state", jobStateName(state)},
+                             {"total_ms", total_ms}});
+        else
+            obs_->log.debug("job_finished",
+                            {{"job", id},
+                             {"state", jobStateName(state)},
+                             {"total_ms", total_ms},
+                             {"error", log_error}});
+    }
+}
+
+void
+JobService::traceJob(JobId id, std::string_view source,
+                     const std::vector<PassProfile> *passes,
+                     const JobTraceIo *io)
+{
+    if (obs_ == nullptr)
+        return;
+    Timeline timeline;
+    {
+        const std::lock_guard<std::mutex> lock(records_mutex_);
+        const auto it = records_.find(id);
+        if (it == records_.end())
+            return; // pruned before its trace was stitched
+        timeline = it->second.timeline;
+    }
+    appendJobTrace(obs_->trace, id, timeline, passes, source, io);
 }
 
 std::shared_ptr<const Machine>
@@ -298,6 +411,8 @@ JobService::workerLoop(Shard &shard)
         PendingJob &pending = it->second;
         pending.running = true;
         --shard.queued_jobs;
+        if (shard.depth_gauge != nullptr)
+            shard.depth_gauge->set(static_cast<double>(shard.queued_jobs));
 
         // Deadlines bound queue wait: anyone overdue by now expires
         // before the compilation starts.
@@ -324,6 +439,7 @@ JobService::workerLoop(Shard &shard)
             for (Waiter &waiter : expired_waiters) {
                 recordState(waiter.id, JobState::Expired,
                             "expired: deadline passed while queued");
+                traceJob(waiter.id, {});
                 waiter.promise.set_exception(std::make_exception_ptr(
                     ExpiredError("deadline passed while queued")));
             }
@@ -342,6 +458,7 @@ JobService::workerLoop(Shard &shard)
         std::shared_ptr<const CompileResult> result;
         std::exception_ptr error;
         bool from_disk = false;
+        JobTraceIo io;
         try {
             machine = internMachine(shard, pending.job.machine, lock);
             CompilerOptions options = pending.job.options;
@@ -355,15 +472,25 @@ JobService::workerLoop(Shard &shard)
             for (Waiter &waiter : expired_waiters) {
                 recordState(waiter.id, JobState::Expired,
                             "expired: deadline passed while queued");
+                traceJob(waiter.id, {});
                 waiter.promise.set_exception(std::make_exception_ptr(
                     ExpiredError("deadline passed while queued")));
             }
             expired_waiters.clear();
 
-            if (disk_)
+            if (disk_) {
+                if (obs_ != nullptr) {
+                    io.read = true;
+                    io.read_start = JobTraceIo::Clock::now();
+                }
                 result = disk_->load(
                     diskCacheKey(fingerprint, options_.derive_job_seeds),
                     *machine);
+                if (obs_ != nullptr) {
+                    io.read_end = JobTraceIo::Clock::now();
+                    io.read_hit = result != nullptr;
+                }
+            }
             if (result) {
                 from_disk = true;
             } else {
@@ -377,11 +504,18 @@ JobService::workerLoop(Shard &shard)
                 const PowerMoveCompiler compiler(*machine, options);
                 result = std::make_shared<const CompileResult>(
                     compiler.compile(circuit));
-                if (disk_)
+                if (disk_) {
+                    if (obs_ != nullptr) {
+                        io.write = true;
+                        io.write_start = JobTraceIo::Clock::now();
+                    }
                     disk_->store(
                         diskCacheKey(fingerprint,
                                      options_.derive_job_seeds),
                         *result);
+                    if (obs_ != nullptr)
+                        io.write_end = JobTraceIo::Clock::now();
+                }
             }
             lock.lock();
         } catch (...) {
@@ -390,8 +524,14 @@ JobService::workerLoop(Shard &shard)
                 lock.lock();
         }
 
-        if (result)
+        if (result) {
+            const std::size_t evictions_before = shard.cache.evictions();
             shard.cache.insert(fingerprint, {result, machine});
+            if (metric_ != nullptr &&
+                shard.cache.evictions() > evictions_before)
+                metric_->memory_cache_evictions->add(
+                    shard.cache.evictions() - evictions_before);
+        }
         std::vector<Waiter> waiters = std::move(pending.waiters);
         shard.pending.erase(fingerprint);
         const bool now_idle = shard.pending.empty();
@@ -409,12 +549,25 @@ JobService::workerLoop(Shard &shard)
             else
                 ++compiled_;
         }
+        if (metric_ != nullptr) {
+            // Tier attribution for the job that reached a worker: the
+            // disk tier answered, or it was a full miss (compiled fresh
+            // or failed). Coalesced/memory were attributed at submit.
+            metric_->tier_total[static_cast<std::size_t>(
+                                    from_disk && !error ? TierIndex::Disk
+                                                        : TierIndex::Miss)]
+                ->add(1);
+            if (!error && !from_disk)
+                metric_->foldPassProfiles(obs_->metrics,
+                                          result->pass_profiles);
+        }
 
         // Leftover expired waiters exist only on the error path (the
         // unlock above never ran); resolve them as Expired, not Failed.
         for (Waiter &waiter : expired_waiters) {
             recordState(waiter.id, JobState::Expired,
                         "expired: deadline passed while queued");
+            traceJob(waiter.id, {});
             waiter.promise.set_exception(std::make_exception_ptr(
                 ExpiredError("deadline passed while queued")));
         }
@@ -437,11 +590,23 @@ JobService::workerLoop(Shard &shard)
             Waiter &waiter = waiters[w];
             if (error) {
                 recordState(waiter.id, JobState::Failed, error_text);
+                traceJob(waiter.id, {}, nullptr, w == 0 ? &io : nullptr);
                 waiter.promise.set_exception(error);
                 continue;
             }
             recordState(waiter.id,
-                        from_disk ? JobState::Cached : JobState::Done);
+                        from_disk ? JobState::Cached : JobState::Done, {},
+                        from_disk ? "disk" : std::string());
+            // The first waiter's lane carries the per-pass spans and the
+            // real disk I/O spans; coalesced lanes show lifecycle only.
+            if (from_disk)
+                traceJob(waiter.id, "disk", nullptr,
+                         w == 0 ? &io : nullptr);
+            else if (w == 0)
+                traceJob(waiter.id, "compiled", &result->pass_profiles,
+                         &io);
+            else
+                traceJob(waiter.id, "coalesced");
             outcome.source = from_disk ? ResultSource::Disk
                              : w == 0  ? ResultSource::Compiled
                                        : ResultSource::Coalesced;

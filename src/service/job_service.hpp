@@ -58,6 +58,7 @@
 
 #include "common/error.hpp"
 #include "service/disk_cache.hpp"
+#include "service/observe.hpp"
 #include "service/service.hpp"
 #include "service/timeline.hpp"
 
@@ -143,6 +144,17 @@ struct JobServiceOptions
      * for the service's lifetime.
      */
     std::size_t max_finished_records = 1 << 20;
+    /**
+     * Observability bundle shared with the disk cache; null (the
+     * default) leaves the service uninstrumented — the disabled path
+     * costs one pointer check per site.
+     */
+    std::shared_ptr<obs::Observability> obs;
+    /**
+     * Jobs whose submit-to-terminal wall time is at least this many
+     * milliseconds log one warn-level slow_job line; 0 disables.
+     */
+    double slow_job_ms = 0.0;
 };
 
 /** Counters snapshot; all cumulative except queued. */
@@ -260,6 +272,8 @@ class JobService
         std::unordered_map<std::uint64_t, std::weak_ptr<const Machine>>
             machines;
         std::vector<std::thread> workers;
+        /** powermove_shard_queue_depth{shard=...}; null when obs is off. */
+        obs::Gauge *depth_gauge = nullptr;
 
         explicit Shard(std::size_t cache_capacity) : cache(cache_capacity) {}
     };
@@ -275,10 +289,29 @@ class JobService
     /** Creates the record for a new job in state Queued. */
     void createRecord(JobId id, std::uint64_t fingerprint, int priority);
 
-    /** Appends @p state (and optional error) to @p id's record. */
-    void recordState(JobId id, JobState state, std::string error = {});
+    /**
+     * Appends @p state (and optional error) to @p id's record. @p detail
+     * refines the timeline event (e.g. "memory" vs "disk" for Cached).
+     * Feeds the state counters and, on terminal states, the wait/run
+     * latency histograms and the slow-job log.
+     */
+    void recordState(JobId id, JobState state, std::string error = {},
+                     std::string detail = {});
+
+    /**
+     * Stitches @p id's timeline into the trace collector (see
+     * appendJobTrace); no-op when observability is off. @p source
+     * annotates the terminal marker with the serving tier.
+     */
+    void traceJob(JobId id, std::string_view source,
+                  const std::vector<PassProfile> *passes = nullptr,
+                  const JobTraceIo *io = nullptr);
 
     JobServiceOptions options_;
+    /** Aliases options_.obs; null when observability is off. */
+    std::shared_ptr<obs::Observability> obs_;
+    /** Resolved metric handles; null exactly when obs_ is null. */
+    std::unique_ptr<ServiceMetricHandles> metric_;
     std::shared_ptr<DiskCache> disk_;
     std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -29,9 +29,14 @@ CompilationService::CompilationService(ServiceOptions options)
         const unsigned hw = std::thread::hardware_concurrency();
         options_.num_workers = hw == 0 ? 1 : hw;
     }
+    obs_ = options_.obs;
+    if (obs_ != nullptr) {
+        metric_ = std::make_unique<ServiceMetricHandles>(obs_->metrics);
+        depth_gauge_ = &obs_->metrics.gauge("powermove_queue_depth");
+    }
     if (!options_.cache_dir.empty())
         disk_ = std::make_shared<DiskCache>(DiskCacheOptions{
-            options_.cache_dir, options_.disk_cache_bytes});
+            options_.cache_dir, options_.disk_cache_bytes, obs_});
     workers_.reserve(options_.num_workers);
     for (std::size_t i = 0; i < options_.num_workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -59,10 +64,16 @@ CompilationService::submit(CompileJob job)
     if (stopping_)
         fatal("submit on a stopping CompilationService");
     ++jobs_submitted_;
+    if (metric_ != nullptr)
+        metric_->submitted->add(1);
 
     // Tier 1: an identical job is already queued or compiling — attach.
     if (const auto it = pending_.find(fingerprint); it != pending_.end()) {
         ++coalesced_;
+        if (metric_ != nullptr)
+            metric_->tier_total[static_cast<std::size_t>(
+                                    TierIndex::Coalesced)]
+                ->add(1);
         it->second.waiters.push_back(std::move(promise));
         return future;
     }
@@ -70,6 +81,9 @@ CompilationService::submit(CompileJob job)
     // Tier 2: the result is in memory — answer without touching the pool.
     if (auto cached = cache_.lookup(fingerprint)) {
         lock.unlock();
+        if (metric_ != nullptr)
+            metric_->tier_total[static_cast<std::size_t>(TierIndex::Memory)]
+                ->add(1);
         promise.set_value(JobResult{std::move(cached.machine),
                                     std::move(cached.result), fingerprint,
                                     true, ResultSource::Memory});
@@ -82,6 +96,8 @@ CompilationService::submit(CompileJob job)
     entry.waiters.push_back(std::move(promise));
     pending_.emplace(fingerprint, std::move(entry));
     queue_.push_back(fingerprint);
+    if (depth_gauge_ != nullptr)
+        depth_gauge_->set(static_cast<double>(queue_.size()));
     lock.unlock();
     work_ready_.notify_one();
     return future;
@@ -192,6 +208,8 @@ CompilationService::workerLoop()
         }
         const std::uint64_t fingerprint = queue_.front();
         queue_.pop_front();
+        if (depth_gauge_ != nullptr)
+            depth_gauge_->set(static_cast<double>(queue_.size()));
 
         // The map reference stays valid while unlocked: only this worker
         // erases this entry, rehashing never invalidates references, and
@@ -243,17 +261,36 @@ CompilationService::workerLoop()
         }
 
         if (result) {
+            const std::size_t evictions_before = cache_.evictions();
             cache_.insert(fingerprint, {result, machine});
+            if (metric_ != nullptr && cache_.evictions() > evictions_before)
+                metric_->memory_cache_evictions->add(cache_.evictions() -
+                                                     evictions_before);
             if (from_disk) {
                 ++disk_hits_;
+                if (metric_ != nullptr)
+                    metric_->tier_total[static_cast<std::size_t>(
+                                            TierIndex::Disk)]
+                        ->add(1);
             } else {
                 ++misses_;
                 ++jobs_completed_;
                 mergePassProfiles(pass_totals_, result->pass_profiles);
+                if (metric_ != nullptr) {
+                    metric_->tier_total[static_cast<std::size_t>(
+                                            TierIndex::Miss)]
+                        ->add(1);
+                    metric_->foldPassProfiles(obs_->metrics,
+                                              result->pass_profiles);
+                }
             }
         } else {
             ++misses_;
             ++jobs_failed_;
+            if (metric_ != nullptr)
+                metric_->tier_total[static_cast<std::size_t>(
+                                        TierIndex::Miss)]
+                    ->add(1);
         }
         std::vector<std::promise<JobResult>> waiters =
             std::move(entry.waiters);

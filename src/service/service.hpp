@@ -58,6 +58,7 @@
 #include "compiler/result.hpp"
 #include "service/cache.hpp"
 #include "service/disk_cache.hpp"
+#include "service/observe.hpp"
 
 namespace powermove::service {
 
@@ -130,6 +131,11 @@ struct ServiceOptions
     std::string cache_dir;
     /** Disk-cache byte budget (see DiskCacheOptions::max_bytes). */
     std::uint64_t disk_cache_bytes = 256ull << 20;
+    /**
+     * Observability bundle shared with the disk cache; null (the
+     * default) leaves the service uninstrumented.
+     */
+    std::shared_ptr<obs::Observability> obs;
 };
 
 /** Counters snapshot; all values are cumulative since construction. */
@@ -230,6 +236,12 @@ class CompilationService
                   std::unique_lock<std::mutex> &lock);
 
     ServiceOptions options_;
+    /** Aliases options_.obs; null when observability is off. */
+    std::shared_ptr<obs::Observability> obs_;
+    /** Resolved metric handles; null exactly when obs_ is null. */
+    std::unique_ptr<ServiceMetricHandles> metric_;
+    /** powermove_queue_depth; null when obs is off. */
+    obs::Gauge *depth_gauge_ = nullptr;
 
     mutable std::mutex mutex_;
     std::condition_variable work_ready_;

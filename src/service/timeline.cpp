@@ -45,15 +45,25 @@ jobStateIsTerminal(JobState state)
 }
 
 void
-Timeline::record(JobState state)
+Timeline::record(JobState state, std::string detail)
 {
-    record(state, std::chrono::steady_clock::now());
+    record(state, std::chrono::steady_clock::now(), std::move(detail));
 }
 
 void
-Timeline::record(JobState state, std::chrono::steady_clock::time_point at)
+Timeline::record(JobState state, std::chrono::steady_clock::time_point at,
+                 std::string detail)
 {
-    events_.push_back(TimelineEvent{state, at});
+    events_.push_back(TimelineEvent{state, at, std::move(detail)});
+}
+
+const TimelineEvent *
+Timeline::find(JobState state) const
+{
+    for (const TimelineEvent &event : events_)
+        if (event.state == state)
+            return &event;
+    return nullptr;
 }
 
 JobState

@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -52,6 +53,9 @@ enum class JobState : std::uint8_t
     Expired,
 };
 
+/** Number of JobState values. */
+inline constexpr std::size_t kNumJobStates = 8;
+
 /** Stable lower-case state name, e.g. "running". */
 std::string_view jobStateName(JobState state);
 
@@ -63,6 +67,13 @@ struct TimelineEvent
 {
     JobState state = JobState::Queued;
     std::chrono::steady_clock::time_point at;
+    /**
+     * Optional refinement of the state, e.g. which tier produced a
+     * Cached record: "memory" (LRU hit at submit) vs "disk" (a worker
+     * deserialized the persistent entry). Empty when the state needs no
+     * qualification.
+     */
+    std::string detail;
 };
 
 /**
@@ -74,13 +85,17 @@ class Timeline
 {
   public:
     /** Appends @p state stamped with the current steady clock. */
-    void record(JobState state);
+    void record(JobState state, std::string detail = {});
 
     /** Appends @p state at an explicit instant (testing / replay). */
-    void record(JobState state, std::chrono::steady_clock::time_point at);
+    void record(JobState state, std::chrono::steady_clock::time_point at,
+                std::string detail = {});
 
     /** All transitions, in record order. Never empty after a record(). */
     const std::vector<TimelineEvent> &events() const { return events_; }
+
+    /** First event recorded in @p state; nullptr when absent. */
+    const TimelineEvent *find(JobState state) const;
 
     /** The most recently recorded state; Queued for an empty timeline. */
     JobState current() const;

@@ -49,6 +49,16 @@ class TempDir
     fs::path path_;
 };
 
+/** DiskCacheOptions built field-by-field (no aggregate-init warnings). */
+DiskCacheOptions
+cacheOptions(const std::string &dir, std::uint64_t max_bytes = 256ull << 20)
+{
+    DiskCacheOptions options;
+    options.dir = dir;
+    options.max_bytes = max_bytes;
+    return options;
+}
+
 /** A small distinct job: a 4-qubit chain with @p variant CZ blocks. */
 CompileJob
 smallJob(std::size_t variant = 1)
@@ -131,7 +141,7 @@ TEST(DiskCacheTest, StoreThenLoadHits)
     const CompileResult fresh = compileDirect(job, machine);
     const std::uint64_t key = jobFingerprint(job);
 
-    DiskCache cache({dir.str()});
+    DiskCache cache(cacheOptions(dir.str()));
     EXPECT_FALSE(cache.contains(key));
     EXPECT_EQ(cache.load(key, machine), nullptr); // cold miss
 
@@ -160,11 +170,11 @@ TEST(DiskCacheTest, EntriesSurviveRestart)
     const std::uint64_t key = jobFingerprint(job);
 
     {
-        DiskCache first({dir.str()});
+        DiskCache first(cacheOptions(dir.str()));
         first.store(key, fresh);
     } // destroyed: only the files remain
 
-    DiskCache second({dir.str()});
+    DiskCache second(cacheOptions(dir.str()));
     EXPECT_TRUE(second.contains(key)); // re-indexed from the directory
     const auto loaded = second.load(key, machine);
     ASSERT_TRUE(loaded);
@@ -179,7 +189,7 @@ TEST(DiskCacheTest, TruncatedEntryFileIsAMissAndIsDeleted)
     const Machine machine(job.machine);
     const std::uint64_t key = jobFingerprint(job);
 
-    DiskCache cache({dir.str()});
+    DiskCache cache(cacheOptions(dir.str()));
     cache.store(key, compileDirect(job, machine));
     const fs::path entry = soleEntryFile(dir.path());
     ASSERT_FALSE(entry.empty());
@@ -206,7 +216,7 @@ TEST(DiskCacheTest, FlippedPayloadBitFailsTheChecksum)
     const Machine machine(job.machine);
     const std::uint64_t key = jobFingerprint(job);
 
-    DiskCache cache({dir.str()});
+    DiskCache cache(cacheOptions(dir.str()));
     cache.store(key, compileDirect(job, machine));
     const fs::path entry = soleEntryFile(dir.path());
     ASSERT_FALSE(entry.empty());
@@ -241,7 +251,7 @@ TEST(DiskCacheTest, GarbageEntryIndexedOnStartupIsAMiss)
         file << "this is not a cache entry";
     }
 
-    DiskCache cache({dir.str()});
+    DiskCache cache(cacheOptions(dir.str()));
     EXPECT_TRUE(cache.contains(key)); // indexed by name, unverified
     const Machine machine(MachineConfig::forQubits(4));
     EXPECT_EQ(cache.load(key, machine), nullptr); // verification rejects
@@ -259,7 +269,7 @@ TEST(DiskCacheTest, ByteBudgetEvictsLeastRecentlyUsed)
 
     // Room for roughly two entries of variant-1 size; variants 2 and 3
     // are larger, so after three stores only the newest survive.
-    DiskCache cache({dir.str(), entry_bytes * 2});
+    DiskCache cache(cacheOptions(dir.str(), entry_bytes * 2));
     std::vector<std::uint64_t> keys;
     for (std::size_t variant = 1; variant <= 3; ++variant) {
         const CompileJob job = smallJob(variant);

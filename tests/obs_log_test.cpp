@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the leveled logfmt logger: line shape, quoting, level
+ * filtering, and level parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/log.hpp"
+
+namespace powermove::obs {
+namespace {
+
+/** Captures a logger's output through a tmpfile. */
+class CapturedLogger
+{
+  public:
+    explicit CapturedLogger(LogLevel level)
+        : file_(std::tmpfile()), logger_(level, file_)
+    {
+    }
+
+    ~CapturedLogger()
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    Logger &logger() { return logger_; }
+
+    std::string
+    text()
+    {
+        std::fflush(file_);
+        std::rewind(file_);
+        std::string out;
+        char buffer[4096];
+        std::size_t n;
+        while ((n = std::fread(buffer, 1, sizeof(buffer), file_)) > 0)
+            out.append(buffer, n);
+        return out;
+    }
+
+  private:
+    std::FILE *file_;
+    Logger logger_;
+};
+
+TEST(LogLevelTest, NamesAndParsingRoundTrip)
+{
+    for (const LogLevel level :
+         {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        LogLevel parsed = LogLevel::Info;
+        ASSERT_TRUE(parseLogLevel(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    LogLevel parsed = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("verbose", parsed));
+    EXPECT_FALSE(parseLogLevel("", parsed));
+}
+
+TEST(LoggerTest, EmitsLogfmtLines)
+{
+    CapturedLogger capture(LogLevel::Info);
+    capture.logger().info("job_finished",
+                          {{"job", 42}, {"total_ms", 1.5}, {"state", "done"}});
+
+    const std::string text = capture.text();
+    EXPECT_NE(text.find("ts="), std::string::npos);
+    EXPECT_NE(text.find(" level=info"), std::string::npos);
+    EXPECT_NE(text.find(" event=job_finished"), std::string::npos);
+    EXPECT_NE(text.find(" job=42"), std::string::npos);
+    EXPECT_NE(text.find(" total_ms=1.5"), std::string::npos);
+    EXPECT_NE(text.find(" state=done"), std::string::npos);
+    EXPECT_EQ(text.find('\n'), text.size() - 1); // exactly one line
+    EXPECT_EQ(capture.logger().linesWritten(), 1u);
+}
+
+TEST(LoggerTest, QuotesValuesThatNeedIt)
+{
+    CapturedLogger capture(LogLevel::Info);
+    capture.logger().info("failure", {{"error", "no such file"},
+                                      {"expr", "a=b"},
+                                      {"quoted", "say \"hi\""}});
+
+    const std::string text = capture.text();
+    EXPECT_NE(text.find("error=\"no such file\""), std::string::npos);
+    EXPECT_NE(text.find("expr=\"a=b\""), std::string::npos);
+    EXPECT_NE(text.find("quoted=\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST(LoggerTest, DropsEventsBelowTheLevel)
+{
+    CapturedLogger capture(LogLevel::Warn);
+    Logger &logger = capture.logger();
+    EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+    EXPECT_FALSE(logger.enabled(LogLevel::Info));
+    EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+    EXPECT_TRUE(logger.enabled(LogLevel::Error));
+
+    logger.debug("dropped");
+    logger.info("dropped");
+    logger.warn("kept_warn");
+    logger.error("kept_error");
+
+    const std::string text = capture.text();
+    EXPECT_EQ(text.find("dropped"), std::string::npos);
+    EXPECT_NE(text.find("event=kept_warn"), std::string::npos);
+    EXPECT_NE(text.find("event=kept_error"), std::string::npos);
+    EXPECT_EQ(logger.linesWritten(), 2u);
+}
+
+TEST(LoggerTest, OffSilencesEverythingAndSetLevelReopens)
+{
+    CapturedLogger capture(LogLevel::Off);
+    Logger &logger = capture.logger();
+    EXPECT_FALSE(logger.enabled(LogLevel::Error));
+    logger.error("silenced");
+    EXPECT_EQ(logger.linesWritten(), 0u);
+
+    logger.setLevel(LogLevel::Trace);
+    EXPECT_EQ(logger.level(), LogLevel::Trace);
+    EXPECT_TRUE(logger.enabled(LogLevel::Trace));
+    logger.log(LogLevel::Trace, "visible");
+    EXPECT_EQ(logger.linesWritten(), 1u);
+    EXPECT_NE(capture.text().find("level=trace"), std::string::npos);
+}
+
+TEST(LoggerTest, IntegerFieldTypesRender)
+{
+    CapturedLogger capture(LogLevel::Info);
+    capture.logger().info("sizes", {{"a", std::size_t{7}},
+                                    {"b", std::int64_t{-3}},
+                                    {"c", std::uint64_t{9}},
+                                    {"d", -1}});
+    const std::string text = capture.text();
+    EXPECT_NE(text.find(" a=7"), std::string::npos);
+    EXPECT_NE(text.find(" b=-3"), std::string::npos);
+    EXPECT_NE(text.find(" c=9"), std::string::npos);
+    EXPECT_NE(text.find(" d=-1"), std::string::npos);
+}
+
+} // namespace
+} // namespace powermove::obs

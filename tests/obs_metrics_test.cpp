@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the metrics registry: handle identity, counter/gauge/
+ * histogram semantics, quantile estimation, and the Prometheus / JSON
+ * exports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace powermove::obs {
+namespace {
+
+TEST(CounterTest, AccumulatesMonotonically)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddInterleave)
+{
+    Gauge gauge;
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+    gauge.set(10.0);
+    gauge.add(-2.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 7.5);
+    gauge.set(3.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+}
+
+TEST(HistogramTest, BucketsCountAndSum)
+{
+    Histogram histogram({10.0, 100.0, 1000.0});
+    histogram.observe(5.0);    // bucket <= 10
+    histogram.observe(10.0);   // boundary lands in its own bucket
+    histogram.observe(50.0);   // bucket <= 100
+    histogram.observe(5000.0); // +Inf bucket
+
+    EXPECT_EQ(histogram.count(), 4u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 5065.0);
+
+    const std::vector<std::uint64_t> buckets = histogram.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u); // 3 bounds + Inf
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 0u);
+    EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(HistogramTest, PercentileInterpolatesAndClamps)
+{
+    Histogram histogram({10.0, 20.0, 30.0});
+    for (int i = 0; i < 10; ++i)
+        histogram.observe(15.0); // all in the (10, 20] bucket
+
+    // Everything lives in one bucket: every quantile interpolates
+    // inside (10, 20], and beyond-last-boundary clamping never exceeds
+    // the final bound.
+    EXPECT_GT(histogram.percentile(0.5), 10.0);
+    EXPECT_LE(histogram.percentile(0.5), 20.0);
+    EXPECT_LE(histogram.percentile(0.99), 20.0);
+
+    Histogram overflow({10.0});
+    overflow.observe(99.0); // +Inf bucket
+    EXPECT_DOUBLE_EQ(overflow.percentile(0.5), 10.0); // clamps to last
+
+    Histogram empty({10.0});
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(PercentileOfSortedTest, MatchesFractionalRankDefinition)
+{
+    EXPECT_DOUBLE_EQ(percentileOfSorted({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted({7.0}, 1.0), 7.0);
+
+    const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 1.0), 40.0);
+    // rank = q * (n - 1) = 1.5 -> halfway between 20 and 30.
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.5), 25.0);
+}
+
+TEST(DefaultBoundsTest, AreStrictlyIncreasing)
+{
+    for (const std::vector<double> &bounds :
+         {defaultLatencyBoundsUs(), passWallBoundsUs()}) {
+        ASSERT_GE(bounds.size(), 2u);
+        for (std::size_t i = 1; i < bounds.size(); ++i)
+            EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+}
+
+TEST(MetricsRegistryTest, ResolvesStableHandlesByNameAndLabels)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("requests_total", {{"tier", "memory"}});
+    Counter &b = registry.counter("requests_total", {{"tier", "memory"}});
+    Counter &c = registry.counter("requests_total", {{"tier", "disk"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+
+    Histogram &h1 = registry.histogram("latency_us", {1.0, 2.0});
+    Histogram &h2 = registry.histogram("latency_us", {9.0, 99.0});
+    EXPECT_EQ(&h1, &h2); // first registration's boundaries win
+    EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, KindConflictThrows)
+{
+    MetricsRegistry registry;
+    registry.counter("thing");
+    EXPECT_THROW(registry.gauge("thing"), Error);
+    EXPECT_THROW(registry.histogram("thing", {1.0}), Error);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording)
+{
+    MetricsRegistry registry;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&registry] {
+            Counter &counter = registry.counter("shared_total");
+            for (int i = 0; i < 1000; ++i)
+                counter.add();
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(registry.counter("shared_total").value(), 4000u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs_total", {{"tier", "memory"}}).add(3);
+    registry.gauge("queue_depth").set(7.0);
+    Histogram &h = registry.histogram("wait_us", {10.0, 100.0});
+    h.observe(5.0);
+    h.observe(50.0);
+
+    const std::string text = registry.toPrometheusText();
+    EXPECT_NE(text.find("# TYPE jobs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("jobs_total{tier=\"memory\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+    EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE wait_us histogram"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_bucket{le=\"10\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_bucket{le=\"100\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_count 2"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_sum 55"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExport)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs_total", {{"tier", "disk"}}).add(2);
+    registry.gauge("depth").set(1.5);
+    registry.histogram("wait_us", {10.0}).observe(4.0);
+
+    const std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"jobs_total\""), std::string::npos);
+    EXPECT_NE(json.find("\"tier\""), std::string::npos);
+    EXPECT_NE(json.find("\"disk\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+    // Crude structural sanity: balanced braces and brackets.
+    long braces = 0, brackets = 0;
+    for (const char c : json) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+} // namespace
+} // namespace powermove::obs

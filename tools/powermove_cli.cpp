@@ -56,6 +56,25 @@
  *   --no-json      skip ISA JSON emission
  *   --stats        print service counters (and, with --profile, the
  *                  service-wide per-pass totals) before exiting
+ *
+ * Observability (any of these turns instrumentation on; without them
+ * the services run with observability disabled — one branch per site):
+ *   --metrics-out PATH   write the metric registry as Prometheus text
+ *                  exposition on exit
+ *   --metrics-json PATH  write the same registry as JSON on exit
+ *   --trace-out PATH  write per-job spans as Chrome trace-event JSON
+ *                  (loadable in Perfetto / chrome://tracing); implies
+ *                  --jobs-async, since spans stitch JobService
+ *                  timelines
+ *   --log-level L  structured logfmt logging to stderr at trace, debug,
+ *                  info, warn, error, or off (default info when any
+ *                  observability flag is set)
+ *   --slow-job-ms D  log a warn-level slow_job line for any job whose
+ *                  submit-to-terminal time is >= D ms (async only)
+ *   --stats-every-ms N  log one info-level stats line every N ms (and a
+ *                  final one on shutdown)
+ *   --stats-json PATH  write the tiered service counters as JSON on
+ *                  exit (works with and without the flags above)
  *   --help         this text
  *
  * Exit status: 0 if every input compiled, 1 otherwise.
@@ -64,6 +83,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -77,6 +97,7 @@
 #include "compiler/strategies.hpp"
 #include "isa/json.hpp"
 #include "isa/validator.hpp"
+#include "obs/observability.hpp"
 #include "qasm/converter.hpp"
 #include "report/summary.hpp"
 #include "service/job_service.hpp"
@@ -106,6 +127,21 @@ struct CliOptions
     double deadline_ms = 0.0;
     /** Per-shard admission bound; 0 = unbounded (--jobs-async only). */
     std::size_t max_queue = 1024;
+    /** Prometheus text exposition destination; empty = no export. */
+    std::string metrics_out;
+    /** JSON metrics destination; empty = no export. */
+    std::string metrics_json;
+    /** Chrome trace-event JSON destination; empty = no export. */
+    std::string trace_out;
+    /** Tiered service counters JSON destination; empty = no export. */
+    std::string stats_json;
+    /** Structured-log threshold; meaningful when log_level_set. */
+    obs::LogLevel log_level = obs::LogLevel::Info;
+    bool log_level_set = false;
+    /** slow_job warn threshold in ms; 0 disables (--jobs-async only). */
+    double slow_job_ms = 0.0;
+    /** Periodic stats-line interval in ms; 0 disables. */
+    std::size_t stats_every_ms = 0;
 };
 
 void
@@ -165,6 +201,22 @@ printUsage(std::FILE *stream)
         "  --out-dir DIR  directory for ISA JSON output\n"
         "  --no-json      skip ISA JSON emission\n"
         "  --stats        print service counters before exiting\n"
+        "  --metrics-out PATH\n"
+        "                 write metrics as Prometheus text exposition\n"
+        "  --metrics-json PATH\n"
+        "                 write metrics as JSON\n"
+        "  --trace-out PATH\n"
+        "                 write per-job spans as Chrome trace-event JSON\n"
+        "                 (implies --jobs-async)\n"
+        "  --log-level L  logfmt logging to stderr: trace, debug, info,\n"
+        "                 warn, error, or off\n"
+        "  --slow-job-ms D\n"
+        "                 warn-log jobs slower than D ms end to end\n"
+        "                 (--jobs-async only)\n"
+        "  --stats-every-ms N\n"
+        "                 log a stats line every N ms\n"
+        "  --stats-json PATH\n"
+        "                 write tiered service counters as JSON\n"
         "  --help         show this text\n");
 }
 
@@ -213,7 +265,9 @@ expandArgs(int argc, char **argv)
         "--reuse-lookahead", "--batch-policy", "--out-dir",
         "--placement-refine-iters", "--stage-partition",
         "--cache-dir", "--priority",        "--deadline-ms",
-        "--max-queue",
+        "--max-queue", "--metrics-out",     "--metrics-json",
+        "--trace-out", "--log-level",       "--slow-job-ms",
+        "--stats-every-ms", "--stats-json",
     };
     std::vector<std::string> args;
     args.reserve(static_cast<std::size_t>(argc));
@@ -400,6 +454,50 @@ parseArgs(int argc, char **argv, CliOptions &cli)
                              text.c_str());
                 return false;
             }
+        } else if (arg == "--metrics-out") {
+            if (!take_value("--metrics-out", i, text))
+                return false;
+            cli.metrics_out = text;
+        } else if (arg == "--metrics-json") {
+            if (!take_value("--metrics-json", i, text))
+                return false;
+            cli.metrics_json = text;
+        } else if (arg == "--trace-out") {
+            if (!take_value("--trace-out", i, text))
+                return false;
+            cli.trace_out = text;
+        } else if (arg == "--stats-json") {
+            if (!take_value("--stats-json", i, text))
+                return false;
+            cli.stats_json = text;
+        } else if (arg == "--log-level") {
+            if (!take_value("--log-level", i, text))
+                return false;
+            if (!obs::parseLogLevel(text, cli.log_level)) {
+                std::fprintf(stderr,
+                             "powermove: unknown log level '%s' (expected "
+                             "trace, debug, info, warn, error, or off)\n",
+                             text.c_str());
+                return false;
+            }
+            cli.log_level_set = true;
+        } else if (arg == "--slow-job-ms") {
+            if (!take_value("--slow-job-ms", i, text))
+                return false;
+            char *end = nullptr;
+            const double slow = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || slow < 0.0) {
+                std::fprintf(stderr,
+                             "powermove: --slow-job-ms must be >= 0, got "
+                             "'%s'\n",
+                             text.c_str());
+                return false;
+            }
+            cli.slow_job_ms = slow;
+        } else if (arg == "--stats-every-ms") {
+            if (!numeric("--stats-every-ms", i, value))
+                return false;
+            cli.stats_every_ms = static_cast<std::size_t>(value);
         } else if (arg == "--profile") {
             cli.print_profile = true;
         } else if (arg == "--no-storage") {
@@ -441,6 +539,111 @@ jsonPathFor(const std::string &input, const std::string &out_dir)
     return dir / (source.stem().string() + ".isa.json");
 }
 
+/** Writes @p content to @p path; reports and returns false on failure. */
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "powermove: cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    file << content;
+    file.flush();
+    if (file.fail()) {
+        std::fprintf(stderr, "powermove: write to '%s' failed\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Appends `  "key": value,\n` (no trailing comma when @p last). */
+void
+appendJsonCount(std::string &out, std::string_view indent,
+                std::string_view key, std::uint64_t value, bool last = false)
+{
+    out += indent;
+    out += '"';
+    out += key;
+    out += "\": ";
+    out += std::to_string(value);
+    out += last ? "\n" : ",\n";
+}
+
+/** The shared disk-tier sub-object of both --stats-json shapes. */
+void
+appendDiskStatsJson(std::string &out, const service::DiskCacheStats &disk,
+                    bool last)
+{
+    out += "  \"disk\": {\n";
+    appendJsonCount(out, "    ", "hits", disk.hits);
+    appendJsonCount(out, "    ", "misses", disk.misses);
+    appendJsonCount(out, "    ", "stores", disk.stores);
+    appendJsonCount(out, "    ", "corrupt", disk.corrupt);
+    appendJsonCount(out, "    ", "evictions", disk.evictions);
+    appendJsonCount(out, "    ", "entries", disk.entries);
+    appendJsonCount(out, "    ", "bytes", disk.bytes, true);
+    out += last ? "  }\n" : "  },\n";
+}
+
+/** JobServiceStats as a JSON document (--stats-json, async mode). */
+std::string
+statsToJson(const service::JobServiceStats &stats)
+{
+    std::string out = "{\n  \"service\": \"job\",\n";
+    appendJsonCount(out, "  ", "num_shards", stats.num_shards);
+    appendJsonCount(out, "  ", "workers_per_shard", stats.workers_per_shard);
+    appendJsonCount(out, "  ", "submitted", stats.submitted);
+    appendJsonCount(out, "  ", "coalesced", stats.coalesced);
+    appendJsonCount(out, "  ", "memory_hits", stats.memory_hits);
+    appendJsonCount(out, "  ", "disk_hits", stats.disk_hits);
+    appendJsonCount(out, "  ", "compiled", stats.compiled);
+    appendJsonCount(out, "  ", "failed", stats.failed);
+    appendJsonCount(out, "  ", "rejected", stats.rejected);
+    appendJsonCount(out, "  ", "expired", stats.expired);
+    appendJsonCount(out, "  ", "queued", stats.queued);
+    appendDiskStatsJson(out, stats.disk, true);
+    out += "}\n";
+    return out;
+}
+
+/** ServiceStats as a JSON document (--stats-json, batch mode). */
+std::string
+statsToJson(const service::ServiceStats &stats)
+{
+    std::string out = "{\n  \"service\": \"batch\",\n";
+    appendJsonCount(out, "  ", "num_workers", stats.num_workers);
+    appendJsonCount(out, "  ", "jobs_submitted", stats.jobs_submitted);
+    appendJsonCount(out, "  ", "jobs_completed", stats.jobs_completed);
+    appendJsonCount(out, "  ", "jobs_failed", stats.jobs_failed);
+    appendJsonCount(out, "  ", "coalesced", stats.coalesced);
+    appendJsonCount(out, "  ", "memory_hits", stats.memory_hits);
+    appendJsonCount(out, "  ", "disk_hits", stats.disk_hits);
+    appendJsonCount(out, "  ", "misses", stats.misses);
+    appendJsonCount(out, "  ", "cache_evictions", stats.cache_evictions);
+    appendJsonCount(out, "  ", "cache_entries", stats.cache_entries);
+    appendJsonCount(out, "  ", "machines_built", stats.machines_built);
+    appendDiskStatsJson(out, stats.disk, false);
+    out += "  \"pass_totals\": [";
+    for (std::size_t p = 0; p < stats.pass_totals.size(); ++p) {
+        const PassProfile &profile = stats.pass_totals[p];
+        char entry[160];
+        std::snprintf(entry, sizeof(entry),
+                      "%s\n    {\"pass\": \"%.*s\", \"wall_us\": %.3f, "
+                      "\"invocations\": %llu}",
+                      p == 0 ? "" : ",",
+                      static_cast<int>(passName(profile.pass).size()),
+                      passName(profile.pass).data(),
+                      profile.wall_time.micros(),
+                      static_cast<unsigned long long>(profile.invocations));
+        out += entry;
+    }
+    out += stats.pass_totals.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
 } // namespace
 
 int
@@ -460,6 +663,24 @@ main(int argc, char **argv)
         }
     }
 
+    // Any observability flag builds the shared bundle; without one the
+    // services run with instrumentation fully disabled.
+    const bool want_obs = !cli.metrics_out.empty() ||
+                          !cli.metrics_json.empty() ||
+                          !cli.trace_out.empty() || cli.log_level_set ||
+                          cli.slow_job_ms > 0.0 || cli.stats_every_ms > 0;
+    std::shared_ptr<obs::Observability> bundle;
+    if (want_obs) {
+        obs::ObservabilityOptions obs_options;
+        if (cli.log_level_set)
+            obs_options.log_level = cli.log_level;
+        bundle = std::make_shared<obs::Observability>(obs_options);
+    }
+    // Trace spans stitch per-job timelines, which only the JobService
+    // keeps; --trace-out therefore routes through it.
+    if (!cli.trace_out.empty())
+        cli.async = true;
+
     // Exactly one of the two services exists, per --jobs-async. Both
     // resolve futures of the same JobResult type, so the reporting loop
     // below is shared.
@@ -470,6 +691,8 @@ main(int argc, char **argv)
         options.cache_capacity = 256;
         options.max_queue = cli.max_queue;
         options.cache_dir = cli.cache_dir;
+        options.obs = bundle;
+        options.slow_job_ms = cli.slow_job_ms;
         if (cli.jobs != 0) {
             // --jobs bounds total workers in async mode too: one shard
             // per worker up to 4 shards, the rest as per-shard workers.
@@ -483,8 +706,41 @@ main(int argc, char **argv)
         options.num_workers = cli.jobs;
         options.cache_capacity = 256;
         options.cache_dir = cli.cache_dir;
+        options.obs = bundle;
         svc = std::make_unique<service::CompilationService>(options);
     }
+
+    // One stats line every --stats-every-ms, plus a final one at
+    // shutdown (the reporter fires once on destruction if it never
+    // fired); destroyed before the exports snapshot the registry.
+    std::unique_ptr<obs::PeriodicReporter> reporter;
+    if (cli.stats_every_ms > 0)
+        reporter = std::make_unique<obs::PeriodicReporter>(
+            std::chrono::milliseconds(cli.stats_every_ms), [&] {
+                if (async_svc) {
+                    const service::JobServiceStats s = async_svc->stats();
+                    bundle->log.info("stats",
+                                     {{"submitted", s.submitted},
+                                      {"queued", s.queued},
+                                      {"coalesced", s.coalesced},
+                                      {"memory_hits", s.memory_hits},
+                                      {"disk_hits", s.disk_hits},
+                                      {"compiled", s.compiled},
+                                      {"failed", s.failed},
+                                      {"rejected", s.rejected},
+                                      {"expired", s.expired}});
+                } else {
+                    const service::ServiceStats s = svc->stats();
+                    bundle->log.info("stats",
+                                     {{"submitted", s.jobs_submitted},
+                                      {"completed", s.jobs_completed},
+                                      {"failed", s.jobs_failed},
+                                      {"coalesced", s.coalesced},
+                                      {"memory_hits", s.memory_hits},
+                                      {"disk_hits", s.disk_hits},
+                                      {"misses", s.misses}});
+                }
+            });
 
     const auto submit_job = [&](Circuit circuit, const MachineConfig &config) {
         if (async_svc) {
@@ -617,6 +873,31 @@ main(int argc, char **argv)
             std::printf("service pass totals:\n%s",
                         formatPassProfiles(stats.pass_totals).c_str());
         }
+    }
+
+    // Machine-readable exports, after the final stats line so the
+    // registry snapshot includes everything the run observed.
+    reporter.reset();
+    if (async_svc != nullptr)
+        (void)async_svc->stats(); // refreshes the shard-imbalance gauge
+    if (bundle != nullptr) {
+        if (!cli.metrics_out.empty() &&
+            !writeTextFile(cli.metrics_out,
+                           bundle->metrics.toPrometheusText()))
+            ++failures;
+        if (!cli.metrics_json.empty() &&
+            !writeTextFile(cli.metrics_json, bundle->metrics.toJson()))
+            ++failures;
+        if (!cli.trace_out.empty() &&
+            !writeTextFile(cli.trace_out, bundle->trace.toChromeTraceJson()))
+            ++failures;
+    }
+    if (!cli.stats_json.empty()) {
+        const std::string json = async_svc != nullptr
+                                     ? statsToJson(async_svc->stats())
+                                     : statsToJson(svc->stats());
+        if (!writeTextFile(cli.stats_json, json))
+            ++failures;
     }
     return failures == 0 ? 0 : 1;
 }
