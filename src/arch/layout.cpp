@@ -108,6 +108,18 @@ Layout::unplace(QubitId qubit)
     removeFrom(qubit, from);
 }
 
+void
+Layout::assignFrom(const Layout &other)
+{
+    PM_ASSERT(&machine_ == &other.machine_,
+              "assignFrom() requires layouts over the same machine");
+    PM_ASSERT(site_of_.size() == other.site_of_.size(),
+              "assignFrom() requires layouts of the same width");
+    site_of_ = other.site_of_;
+    site_qubits_ = other.site_qubits_;
+    site_count_ = other.site_count_;
+}
+
 ZoneKind
 Layout::zoneOf(QubitId qubit) const
 {

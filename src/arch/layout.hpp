@@ -61,6 +61,16 @@ class Layout
      */
     void unplace(QubitId qubit);
 
+    /**
+     * Overwrites this layout with @p other's occupancy. Both layouts
+     * must share one machine and qubit count (the implicit copy
+     * assignment is deleted by the machine reference). Lets a scratch
+     * layout be re-synced to a live one without reallocating — the
+     * windowed router resets its candidate scratch this way once per
+     * candidate ordering.
+     */
+    void assignFrom(const Layout &other);
+
     /** Zone of the site holding @p qubit. */
     ZoneKind zoneOf(QubitId qubit) const;
 

@@ -117,6 +117,16 @@ struct CompilerOptions
     std::uint32_t reuse_lookahead = 4;
 
     /**
+     * Windowed-routing search width, in candidate gate orderings per
+     * stage transition (>= 1): the original order plus window - 1
+     * random shuffles, each routed on a scratch layout, best total
+     * move distance wins. Compile time grows linearly with the
+     * window; 1 degenerates to the continuous router. Ignored by
+     * every other routing strategy.
+     */
+    std::uint32_t routing_window = 8;
+
+    /**
      * Record per-pass wall times and counters into
      * CompileResult::pass_profiles. Profiling never changes the emitted
      * schedule; disabling only removes the clock reads from the hot loop

@@ -287,6 +287,20 @@ RoutingPass::RoutingPass(PipelineContext &ctx)
                                ctx.options.seed},
             ctx.rng);
     }
+    if (ctx.options.routing == RoutingStrategy::Fast) {
+        fast_router_ = std::make_unique<FastContinuousRouter>(
+            ctx.machine,
+            RouterOptions{ctx.options.use_storage, ctx.options.seed},
+            ctx.rng);
+    }
+    if (ctx.options.routing == RoutingStrategy::Windowed) {
+        if (ctx.options.routing_window == 0)
+            fatal("windowed routing requires a window >= 1 ordering");
+        windowed_router_ = std::make_unique<WindowedRouter>(
+            ctx.machine,
+            RouterOptions{ctx.options.use_storage, ctx.options.seed},
+            ctx.options.routing_window, ctx.rng);
+    }
 }
 
 void
@@ -310,6 +324,10 @@ RoutingPass::run(PipelineContext &ctx, const Stage &stage)
     TransitionPlan plan =
         reuse_router_ != nullptr
             ? reuse_router_->planStageTransition(ctx.layout, stage)
+        : fast_router_ != nullptr
+            ? fast_router_->planStageTransition(ctx.layout, stage)
+        : windowed_router_ != nullptr
+            ? windowed_router_->planStageTransition(ctx.layout, stage)
             : router_.planStageTransition(ctx.layout, stage);
     ctx.profiler.addCounter(PassId::Routing, "moves_planned",
                             plan.moves.size());
@@ -336,6 +354,14 @@ RoutingPass::run(PipelineContext &ctx, const Stage &stage)
                                 plan.num_reuse_relocated);
         ctx.profiler.addCounter(PassId::Routing, "holds_denied",
                                 plan.num_hold_denied);
+    }
+    if (windowed_router_ != nullptr) {
+        // Windowed-only counters, gated like the reuse block above so
+        // the default --profile output stays unchanged.
+        ctx.profiler.addCounter(PassId::Routing, "orderings_evaluated",
+                                plan.num_candidates);
+        ctx.profiler.addCounter(PassId::Routing, "window_wins",
+                                plan.num_window_wins);
     }
     return plan;
 }

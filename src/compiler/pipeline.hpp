@@ -45,7 +45,9 @@
 #include "compiler/result.hpp"
 #include "isa/machine_schedule.hpp"
 #include "reuse/router.hpp"
+#include "route/fast_router.hpp"
 #include "route/router.hpp"
+#include "route/windowed_router.hpp"
 #include "schedule/stage.hpp"
 #include "schedule/stage_order.hpp"
 
@@ -184,10 +186,12 @@ class StageOrderPass
 /**
  * Plans and applies one layout transition per stage through the
  * strategy selected by CompilerOptions::routing: the paper's continuous
- * router (route/) or the reuse-aware router (reuse/). Owns the routers
- * (and through them the scratch buffers); randomized decisions draw
- * from ctx.rng. The reuse strategy requires the storage zone, so the
- * storage-free configuration always routes continuously.
+ * router (route/), its bit-identical incremental fast path
+ * (route/fast_router.hpp), the reuse-aware router (reuse/), or the
+ * windowed best-of-orderings search (route/windowed_router.hpp). Owns
+ * the routers (and through them the scratch buffers); randomized
+ * decisions draw from ctx.rng. The reuse strategy requires the storage
+ * zone, so the storage-free configuration always routes continuously.
  */
 class RoutingPass
 {
@@ -197,7 +201,7 @@ class RoutingPass
     /**
      * Announces the ordered stages of the next block before its first
      * transition is routed (the reuse strategy's lookahead scans them;
-     * a no-op for the continuous router).
+     * a no-op for the other strategies).
      */
     void beginBlock(PipelineContext &ctx, const std::vector<Stage> &stages);
 
@@ -205,7 +209,9 @@ class RoutingPass
 
   private:
     ContinuousRouter router_;
-    std::unique_ptr<ReuseAwareRouter> reuse_router_; // engaged iff Reuse
+    std::unique_ptr<ReuseAwareRouter> reuse_router_;     // engaged iff Reuse
+    std::unique_ptr<FastContinuousRouter> fast_router_;  // engaged iff Fast
+    std::unique_ptr<WindowedRouter> windowed_router_;    // engaged iff Windowed
 };
 
 /** Groups a transition's moves into Coll-Moves and orders them. */

@@ -144,6 +144,10 @@ routingStrategyName(RoutingStrategy strategy)
         return "continuous";
     case RoutingStrategy::Reuse:
         return "reuse";
+    case RoutingStrategy::Fast:
+        return "fast";
+    case RoutingStrategy::Windowed:
+        return "windowed";
     }
     return "unknown";
 }
@@ -152,7 +156,8 @@ bool
 parseRoutingStrategy(std::string_view text, RoutingStrategy &out)
 {
     for (const auto strategy :
-         {RoutingStrategy::Continuous, RoutingStrategy::Reuse}) {
+         {RoutingStrategy::Continuous, RoutingStrategy::Reuse,
+          RoutingStrategy::Fast, RoutingStrategy::Windowed}) {
         if (text == routingStrategyName(strategy)) {
             out = strategy;
             return true;
@@ -177,7 +182,9 @@ strategyCatalog()
         {"routing",
          "--routing",
          {routingStrategyName(RoutingStrategy::Continuous),
-          routingStrategyName(RoutingStrategy::Reuse)}},
+          routingStrategyName(RoutingStrategy::Reuse),
+          routingStrategyName(RoutingStrategy::Fast),
+          routingStrategyName(RoutingStrategy::Windowed)}},
         {"stage-partition",
          "--stage-partition",
          {stagePartitionStrategyName(StagePartitionStrategy::Linear),

@@ -71,6 +71,13 @@ struct TransitionPlan
     std::size_t num_reuse_hits = 0;
     /** Idle qubits whose next use lay beyond the lookahead window. */
     std::size_t num_lookahead_misses = 0;
+
+    // Windowed-strategy accounting (always zero except under
+    // --routing=windowed; see route/windowed_router.hpp).
+    /** Candidate gate orderings evaluated for this transition. */
+    std::size_t num_candidates = 0;
+    /** Shuffled orderings that beat the original-order incumbent. */
+    std::size_t num_window_wins = 0;
 };
 
 /** Plans direct layout-to-layout transitions (paper Sec. 5). */

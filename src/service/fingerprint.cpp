@@ -86,7 +86,7 @@ fingerprintMachineConfig(const MachineConfig &config)
 // updated; when padding absorbs the addition instead (as it did for the
 // one-byte stage_partition enum), the structured-binding probe in
 // fingerprint_test.cpp still catches the unhashed field by count.
-static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 56,
+static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 64,
               "CompilerOptions changed: extend fingerprintOptions() with the "
               "new field, then update this expected size");
 
@@ -107,6 +107,7 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));
     hash.add(static_cast<std::uint64_t>(options.routing));
     hash.add(static_cast<std::uint64_t>(options.reuse_lookahead));
+    hash.add(static_cast<std::uint64_t>(options.routing_window));
     // profile_passes never changes the emitted schedule, but it changes
     // the CompileResult payload (pass_profiles present or empty), so it
     // is addressed too: a spurious miss beats handing a caller a cached
@@ -134,6 +135,10 @@ seedFingerprintJob(const Circuit &circuit, const MachineConfig &config,
 {
     CompilerOptions canonical = options;
     canonical.profile_passes = CompilerOptions{}.profile_passes;
+    // The fast path is bit-identical to the reference router at equal
+    // seeds, so it must draw the same seed.
+    if (canonical.routing == RoutingStrategy::Fast)
+        canonical.routing = RoutingStrategy::Continuous;
     return fingerprintJob(circuit, config, canonical);
 }
 

@@ -118,13 +118,18 @@ std::uint64_t fingerprintJob(const Circuit &circuit,
 
 /**
  * The job fingerprint used for seed derivation: fingerprintJob() with
- * CompilerOptions::profile_passes normalized to its default.
+ * the schedule-neutral option fields normalized to canonical values.
  *
  * profile_passes participates in the cache address (a profiled and an
  * unprofiled run carry different result payloads) but must not reach
  * the derived seed: profiling never changes the schedule a compilation
  * emits, so a job profiled once for analysis and re-run unprofiled in
  * production has to draw the same randomized-decision stream.
+ * RoutingStrategy::Fast is normalized to Continuous for the same
+ * reason: the fast path is bit-identical to the reference router at
+ * equal seeds (differential-tested), so `--routing=fast` must draw the
+ * same stream and reproduce the reference schedule exactly — the CLI
+ * end-to-end job cmp's the emitted ISA JSON of both paths.
  */
 std::uint64_t seedFingerprintJob(const Circuit &circuit,
                                  const MachineConfig &config,

@@ -171,6 +171,21 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     lookahead.reuse_lookahead += 1;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(lookahead));
 
+    CompilerOptions fast_routing = base;
+    fast_routing.routing = RoutingStrategy::Fast;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(fast_routing));
+    EXPECT_NE(fingerprintOptions(routing), fingerprintOptions(fast_routing));
+
+    CompilerOptions windowed_routing = base;
+    windowed_routing.routing = RoutingStrategy::Windowed;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(windowed_routing));
+    EXPECT_NE(fingerprintOptions(fast_routing),
+              fingerprintOptions(windowed_routing));
+
+    CompilerOptions window = base;
+    window.routing_window += 1;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(window));
+
     CompilerOptions profiling = base;
     profiling.profile_passes = false;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(profiling));
@@ -192,7 +207,7 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
                  placement_refine_iters, stage_partition, stage_order,
                  coll_move_order, aod_batch_policy, routing, reuse_lookahead,
-                 profile_passes] = options;
+                 routing_window, profile_passes] = options;
     EXPECT_EQ(use_storage, options.use_storage);
     EXPECT_EQ(num_aods, options.num_aods);
     EXPECT_EQ(stage_order_alpha, options.stage_order_alpha);
@@ -205,6 +220,7 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);
     EXPECT_EQ(routing, options.routing);
     EXPECT_EQ(reuse_lookahead, options.reuse_lookahead);
+    EXPECT_EQ(routing_window, options.routing_window);
     EXPECT_EQ(profile_passes, options.profile_passes);
 }
 
@@ -225,6 +241,47 @@ TEST(FingerprintTest, JobFingerprintCombinesAllThreeParts)
     MachineConfig other_config = config;
     other_config.storage_rows += 1;
     EXPECT_NE(base, fingerprintJob(circuit, other_config, options));
+}
+
+/**
+ * Schedule-neutral options must not reach the derived seed: profiling
+ * never changes the emitted schedule, and the fast routing path is
+ * bit-identical to the reference router at equal seeds — so both
+ * normalize away in seedFingerprintJob() while still addressing
+ * distinct cache entries via fingerprintJob(). This is what makes
+ * `--routing=fast` reproduce `--routing=continuous` byte for byte all
+ * the way through the service (the CLI e2e job cmp's the ISA JSON).
+ */
+TEST(FingerprintTest, ScheduleNeutralOptionsShareTheSeedFingerprint)
+{
+    Circuit circuit(4);
+    circuit.append(CzGate{0, 1});
+    circuit.append(CzGate{2, 3});
+    const MachineConfig config = MachineConfig::forQubits(4);
+    const CompilerOptions continuous;
+
+    CompilerOptions fast = continuous;
+    fast.routing = RoutingStrategy::Fast;
+    EXPECT_EQ(seedFingerprintJob(circuit, config, continuous),
+              seedFingerprintJob(circuit, config, fast));
+    EXPECT_NE(fingerprintJob(circuit, config, continuous),
+              fingerprintJob(circuit, config, fast));
+
+    CompilerOptions profiled = continuous;
+    profiled.profile_passes = !profiled.profile_passes;
+    EXPECT_EQ(seedFingerprintJob(circuit, config, continuous),
+              seedFingerprintJob(circuit, config, profiled));
+
+    // Strategies that genuinely change the schedule keep their own
+    // randomized-decision streams.
+    CompilerOptions reuse = continuous;
+    reuse.routing = RoutingStrategy::Reuse;
+    EXPECT_NE(seedFingerprintJob(circuit, config, continuous),
+              seedFingerprintJob(circuit, config, reuse));
+    CompilerOptions windowed = continuous;
+    windowed.routing = RoutingStrategy::Windowed;
+    EXPECT_NE(seedFingerprintJob(circuit, config, continuous),
+              seedFingerprintJob(circuit, config, windowed));
 }
 
 TEST(FingerprintTest, DerivedSeedsAreDeterministicAndDecorrelated)

@@ -75,6 +75,7 @@ struct FuzzCase
     std::uint32_t reuse_lookahead;
     PlacementStrategy placement;
     StagePartitionStrategy stage_partition;
+    std::uint32_t routing_window = 8;
 };
 
 class PipelineFuzz : public ::testing::TestWithParam<FuzzCase>
@@ -94,6 +95,7 @@ TEST_P(PipelineFuzz, PowerMoveSchedulesValidate)
     options.reuse_lookahead = param.reuse_lookahead;
     options.placement = param.placement;
     options.stage_partition = param.stage_partition;
+    options.routing_window = param.routing_window;
     // A tight budget still exercises greedy + refinement while keeping
     // the case count x placement sweep cheap.
     options.placement_refine_iters = 8;
@@ -102,10 +104,11 @@ TEST_P(PipelineFuzz, PowerMoveSchedulesValidate)
     EXPECT_NO_THROW(validateAgainstCircuit(result.schedule, circuit))
         << "seed=" << param.seed;
     EXPECT_GT(result.metrics.fidelity(), 0.0);
-    if (param.use_storage && param.routing == RoutingStrategy::Continuous) {
-        // The continuous router keeps every idle qubit out of the
-        // compute zone during pulses; atom reuse deliberately trades
-        // excitation exposures for saved storage round trips.
+    if (param.use_storage && param.routing != RoutingStrategy::Reuse) {
+        // Continuous semantics (shared by the fast path and every
+        // windowed candidate) keep every idle qubit out of the compute
+        // zone during pulses; atom reuse deliberately trades excitation
+        // exposures for saved storage round trips.
         EXPECT_EQ(result.metrics.excitation_exposures, 0u);
     }
 }
@@ -158,6 +161,7 @@ TEST_P(PipelineFuzz, JobServiceMatchesEffectiveOptionsReplay)
     options.reuse_lookahead = param.reuse_lookahead;
     options.placement = param.placement;
     options.stage_partition = param.stage_partition;
+    options.routing_window = param.routing_window;
     options.placement_refine_iters = 8;
     const service::CompileJob job{
         circuit, MachineConfig::forQubits(param.num_qubits), options};
@@ -231,8 +235,8 @@ makeCases()
     std::vector<FuzzCase> cases;
     std::uint64_t seed = 1;
     std::size_t group = 0;
-    // Each (n, storage, aods) group appends exactly 4 cases, so a plain
-    // size-mod-4 rotation would pin each routing config to one fixed
+    // Each (n, storage, aods) group appends a fixed case count, so a
+    // plain size-mod rotation could pin a routing config to one fixed
     // placement forever; the per-group offset de-aligns the two cycles.
     // The 3-cycle stage-partition rotation is coprime to the group size,
     // so it de-aligns from the routing pattern on its own.
@@ -252,6 +256,18 @@ makeCases()
                     cases.push_back({seed++, n, storage, aods,
                                      RoutingStrategy::Reuse, window,
                                      next_placement(), next_partition()});
+                }
+                // The incremental fast path sees the same axis sweep as
+                // the reference it must mirror.
+                cases.push_back(
+                    {seed++, n, storage, aods, RoutingStrategy::Fast, 4,
+                     next_placement(), next_partition()});
+                // Windowed search at the degenerate and a real width.
+                for (const std::uint32_t window : {1u, 4u}) {
+                    cases.push_back({seed++, n, storage, aods,
+                                     RoutingStrategy::Windowed, 4,
+                                     next_placement(), next_partition(),
+                                     window});
                 }
                 ++group;
             }

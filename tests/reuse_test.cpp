@@ -369,7 +369,8 @@ TEST(ReusePipelineTest, ReuseSchedulesAreDeterministic)
 TEST(ReuseStrategyNameTest, NamesRoundTripAndCatalogCoversRouting)
 {
     for (const auto strategy :
-         {RoutingStrategy::Continuous, RoutingStrategy::Reuse}) {
+         {RoutingStrategy::Continuous, RoutingStrategy::Reuse,
+          RoutingStrategy::Fast, RoutingStrategy::Windowed}) {
         RoutingStrategy parsed{};
         EXPECT_TRUE(
             parseRoutingStrategy(routingStrategyName(strategy), parsed));
@@ -385,9 +386,11 @@ TEST(ReuseStrategyNameTest, NamesRoundTripAndCatalogCoversRouting)
         if (entry.dimension == "routing") {
             saw_routing = true;
             EXPECT_EQ(entry.flag, "--routing");
-            ASSERT_EQ(entry.values.size(), 2u);
+            ASSERT_EQ(entry.values.size(), 4u);
             EXPECT_EQ(entry.values[0], "continuous"); // default first
             EXPECT_EQ(entry.values[1], "reuse");
+            EXPECT_EQ(entry.values[2], "fast");
+            EXPECT_EQ(entry.values[3], "windowed");
         }
     }
     EXPECT_TRUE(saw_routing);

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's Markdown files.
+
+Scans every tracked *.md file (or the paths given as arguments) for
+Markdown links/images, skips absolute URLs (http/https/mailto) and
+pure in-page anchors, resolves relative targets against the containing
+file, and exits nonzero listing every target that does not exist.
+
+Stdlib only; run from anywhere inside the repo:
+
+    python3 tools/check_docs_links.py
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target); target ends at the first ')' or
+# space (titles like (foo "Title") are split off).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True,
+    )
+    return Path(out.stdout.strip())
+
+
+def markdown_files(root: Path, argv: list[str]) -> list[Path]:
+    if argv:
+        return [Path(a).resolve() for a in argv]
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        capture_output=True, text=True, check=True, cwd=root,
+    )
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced and inline code so example links are not checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main() -> int:
+    root = repo_root()
+    dead: list[str] = []
+    for md in markdown_files(root, sys.argv[1:]):
+        for target in LINK_RE.findall(strip_code(md.read_text())):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                dead.append(f"{md.relative_to(root)}: {target}")
+    if dead:
+        print("dead relative links:", file=sys.stderr)
+        for entry in dead:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"ok: no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

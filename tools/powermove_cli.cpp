@@ -43,9 +43,14 @@
  *                  paper's Sec. 4.1 edge coloring), or balanced
  *                  (linear + stage-width rebalance)
  *   --routing R    stage-transition routing: continuous (default, the
- *                  paper's Sec. 5 router) or reuse (gate-aware atom
- *                  reuse, src/reuse/)
+ *                  paper's Sec. 5 router), reuse (gate-aware atom
+ *                  reuse, src/reuse/), fast (bit-identical incremental
+ *                  fast path, src/route/fast_router.*), or windowed
+ *                  (best-of-N gate orderings, src/route/
+ *                  windowed_router.*)
  *   --reuse-lookahead N  reuse hold window in stages (default 4)
+ *   --routing-window N  windowed-routing candidate orderings per stage
+ *                  transition (default 8; --routing windowed only)
  *   --batch-policy P  AOD batching: in-order (default, the paper's
  *                  chunking) or duration-balanced
  *   --list-strategies  print every strategy dimension with its value
@@ -186,10 +191,15 @@ printUsage(std::FILE *stream)
         "                 bit-identical graph-free scan), coloring (the\n"
         "                 paper's edge coloring), or balanced (linear +\n"
         "                 stage-width rebalance)\n"
-        "  --routing R    stage-transition routing: continuous (default)\n"
-        "                 or reuse (gate-aware atom reuse)\n"
+        "  --routing R    stage-transition routing: continuous (default),\n"
+        "                 reuse (gate-aware atom reuse), fast\n"
+        "                 (bit-identical incremental fast path), or\n"
+        "                 windowed (best-of-N gate orderings)\n"
         "  --reuse-lookahead N\n"
         "                 reuse hold window in stages (default 4)\n"
+        "  --routing-window N\n"
+        "                 windowed-routing orderings per transition\n"
+        "                 (default 8; --routing windowed only)\n"
         "  --batch-policy P\n"
         "                 AOD batching: in-order (default) or\n"
         "                 duration-balanced\n"
@@ -262,7 +272,8 @@ expandArgs(int argc, char **argv)
     static constexpr const char *kValueFlags[] = {
         "--jobs",      "--num-aods",        "--seed",
         "--alpha",     "--placement",       "--routing",
-        "--reuse-lookahead", "--batch-policy", "--out-dir",
+        "--reuse-lookahead", "--routing-window", "--batch-policy",
+        "--out-dir",
         "--placement-refine-iters", "--stage-partition",
         "--cache-dir", "--priority",        "--deadline-ms",
         "--max-queue", "--metrics-out",     "--metrics-json",
@@ -393,6 +404,15 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             }
             cli.compiler.reuse_lookahead =
                 static_cast<std::uint32_t>(value);
+        } else if (arg == "--routing-window") {
+            if (!numeric("--routing-window", i, value))
+                return false;
+            if (value == 0) {
+                std::fprintf(stderr,
+                             "powermove: --routing-window must be >= 1\n");
+                return false;
+            }
+            cli.compiler.routing_window = static_cast<std::uint32_t>(value);
         } else if (arg == "--alpha") {
             if (!take_value("--alpha", i, text))
                 return false;
@@ -440,7 +460,7 @@ parseArgs(int argc, char **argv, CliOptions &cli)
             if (!parseRoutingStrategy(text, cli.compiler.routing)) {
                 std::fprintf(stderr,
                              "powermove: unknown routing '%s' (expected "
-                             "continuous or reuse)\n",
+                             "continuous, reuse, fast, or windowed)\n",
                              text.c_str());
                 return false;
             }
