@@ -1,20 +1,31 @@
 /**
  * @file
- * Routing-strategy comparison: continuous vs reuse-aware (src/reuse/).
+ * Residency-policy comparison: the compute zone as a cache of atoms.
  *
  * Compiles every Table 2 benchmark — plus depth-2 VQE ansatze, the
  * canonical multi-block workload where atom reuse pays between
- * entanglement layers (the Table 2 VQE rows are single-layer chains
- * whose idle qubits never enter the compute zone, so no routing policy
- * can save a move there) — under both RoutingStrategy values, validates
- * every schedule against its source circuit, and prints the per-row and
- * per-family comparison: planned moves, transfers, qubits held, and the
- * fidelity ratio.
+ * entanglement layers — under the continuous router and under the
+ * reuse router with each residency policy
+ * (`--residency=lookahead|lru|lti|fidelity`), validates every schedule
+ * against its source circuit, and prints the per-row and per-family
+ * comparison: planned moves, reuse hits, holds, and the fidelity ratio
+ * against the continuous baseline.
  *
- * `--smoke` compiles one small entry per family (CI mode: fast, but
- * still validating both strategies and the comparison machinery).
- * Standalone main (no Google Benchmark dependency); exits nonzero if
- * any schedule fails hardware validation.
+ * Beyond validation, the run gates the residency accounting invariants
+ * on every compile (exit nonzero on violation):
+ *
+ *  - `parked_no_reuse + window_misses == lookahead_misses` (the miss
+ *    split is exact, never an estimate);
+ *  - `residency_holds_started == residency_holds_ended` (every span is
+ *    settled by program end under every policy);
+ *  - cross-block reuse: on the QSIM and QFT families the `lti` policy
+ *    must measure strictly more reuse hits than `lookahead` (residency
+ *    persisting across block boundaries is what buys them), and on BV
+ *    it must plan no more moves than `lookahead`.
+ *
+ * `--smoke` compiles one small entry per family (CI mode). `--json P`
+ * additionally writes every row as JSON for the bench-regression
+ * artifact. Standalone main (no Google Benchmark dependency).
  */
 
 #include <cstdio>
@@ -63,21 +74,35 @@ makeEntries(bool smoke)
     return entries;
 }
 
+constexpr ResidencyPolicy kPolicies[] = {
+    ResidencyPolicy::Lookahead,
+    ResidencyPolicy::Lru,
+    ResidencyPolicy::Lti,
+    ResidencyPolicy::Fidelity,
+};
+
 struct Run
 {
     std::size_t moves = 0;
     std::size_t transfers = 0;
     std::uint64_t held = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t parked_no_reuse = 0;
+    std::uint64_t window_misses = 0;
+    std::uint64_t holds_started = 0;
+    std::uint64_t holds_ended = 0;
     double fidelity = 0.0;
-    double compile_us = 0.0;
 };
 
 Run
 compileOne(const Machine &machine, const Circuit &circuit,
-           RoutingStrategy routing)
+           RoutingStrategy routing,
+           ResidencyPolicy residency = ResidencyPolicy::Lookahead)
 {
     CompilerOptions options;
     options.routing = routing;
+    options.residency = residency;
     const auto result = PowerMoveCompiler(machine, options).compile(circuit);
     validateAgainstCircuit(result.schedule, circuit);
 
@@ -85,13 +110,24 @@ compileOne(const Machine &machine, const Circuit &circuit,
     run.moves = result.schedule.numQubitMoves();
     run.transfers = result.schedule.numTransfers();
     run.fidelity = result.metrics.fidelity();
-    run.compile_us = result.compile_time.micros();
     for (const PassProfile &profile : result.pass_profiles) {
         if (profile.pass != PassId::Routing)
             continue;
         for (const PassCounter &counter : profile.counters) {
             if (counter.name == "qubits_held")
                 run.held = counter.value;
+            if (counter.name == "lookahead_hits")
+                run.hits = counter.value;
+            if (counter.name == "lookahead_misses")
+                run.misses = counter.value;
+            if (counter.name == "parked_no_reuse")
+                run.parked_no_reuse = counter.value;
+            if (counter.name == "window_misses")
+                run.window_misses = counter.value;
+            if (counter.name == "residency_holds_started")
+                run.holds_started = counter.value;
+            if (counter.name == "residency_holds_ended")
+                run.holds_ended = counter.value;
         }
     }
     return run;
@@ -105,54 +141,115 @@ fmt(double value, const char *spec)
     return buffer;
 }
 
+/** One gate violation: prints and counts, run continues for the report. */
+int
+gate(bool ok, const std::string &name, const char *what)
+{
+    if (ok)
+        return 0;
+    std::fprintf(stderr, "%s: GATE FAILED: %s\n", name.c_str(), what);
+    return 1;
+}
+
+void
+writeJson(std::FILE *out,
+          const std::vector<std::pair<Entry, std::map<std::string, Run>>>
+              &rows)
+{
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    bool first_row = true;
+    for (const auto &[entry, runs] : rows) {
+        if (!first_row)
+            std::fprintf(out, ",\n");
+        first_row = false;
+        std::fprintf(out, "    {\"name\": \"%s\", \"family\": \"%s\"",
+                     entry.name.c_str(), entry.family.c_str());
+        for (const auto &[policy, run] : runs) {
+            std::fprintf(out,
+                         ",\n     \"%s\": {\"moves\": %zu, \"transfers\": "
+                         "%zu, \"held\": %llu, \"reuse_hits\": %llu, "
+                         "\"misses\": %llu, \"parked_no_reuse\": %llu, "
+                         "\"window_misses\": %llu, \"holds_started\": %llu, "
+                         "\"holds_ended\": %llu, \"fidelity\": %.6f}",
+                         policy.c_str(), run.moves, run.transfers,
+                         static_cast<unsigned long long>(run.held),
+                         static_cast<unsigned long long>(run.hits),
+                         static_cast<unsigned long long>(run.misses),
+                         static_cast<unsigned long long>(run.parked_no_reuse),
+                         static_cast<unsigned long long>(run.window_misses),
+                         static_cast<unsigned long long>(run.holds_started),
+                         static_cast<unsigned long long>(run.holds_ended),
+                         run.fidelity);
+        }
+        std::fprintf(out, "}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
     }
 
-    std::printf("=== Routing strategies: continuous vs reuse%s ===\n\n",
-                smoke ? " (smoke subset)" : "");
+    std::printf(
+        "=== Residency policies: continuous vs reuse x "
+        "{lookahead, lru, lti, fidelity}%s ===\n\n",
+        smoke ? " (smoke subset)" : "");
 
-    TextTable table({"Benchmark", "Moves cont", "Moves reuse", "Moves d%",
-                     "Transfers cont", "Transfers reuse", "Held",
-                     "Fidelity ratio"});
-    std::map<std::string, std::pair<std::size_t, std::size_t>> family_moves;
-    std::size_t total_continuous = 0;
-    std::size_t total_reuse = 0;
+    TextTable table({"Benchmark", "Policy", "Moves", "Hits", "Held",
+                     "Misses", "NoReuse", "WindowMiss", "Fidelity ratio"});
+    // family -> policy -> (moves, hits) totals for the summary + gates.
+    std::map<std::string, std::map<std::string, std::pair<std::size_t,
+                                                          std::uint64_t>>>
+        family_totals;
+    std::vector<std::pair<Entry, std::map<std::string, Run>>> rows;
     int failures = 0;
 
     for (const Entry &entry : makeEntries(smoke)) {
         const Machine machine(entry.machine_config);
         try {
-            const Run cont =
-                compileOne(machine, entry.circuit,
-                           RoutingStrategy::Continuous);
-            const Run reuse =
-                compileOne(machine, entry.circuit, RoutingStrategy::Reuse);
+            const Run cont = compileOne(machine, entry.circuit,
+                                        RoutingStrategy::Continuous);
+            std::map<std::string, Run> runs;
+            runs["continuous"] = cont;
+            family_totals[entry.family]["continuous"].first += cont.moves;
+            for (const ResidencyPolicy policy : kPolicies) {
+                const Run run = compileOne(machine, entry.circuit,
+                                           RoutingStrategy::Reuse, policy);
+                const std::string policy_name(residencyPolicyName(policy));
+                runs[policy_name] = run;
+                table.addRow({entry.name, policy_name,
+                              std::to_string(run.moves),
+                              std::to_string(run.hits),
+                              std::to_string(run.held),
+                              std::to_string(run.misses),
+                              std::to_string(run.parked_no_reuse),
+                              std::to_string(run.window_misses),
+                              fmt(run.fidelity / cont.fidelity, "%.4f")});
+                auto &family = family_totals[entry.family][policy_name];
+                family.first += run.moves;
+                family.second += run.hits;
 
-            const double delta =
-                cont.moves == 0
-                    ? 0.0
-                    : 100.0 *
-                          (static_cast<double>(reuse.moves) -
-                           static_cast<double>(cont.moves)) /
-                          static_cast<double>(cont.moves);
-            table.addRow({entry.name, std::to_string(cont.moves),
-                          std::to_string(reuse.moves), fmt(delta, "%+.1f"),
-                          std::to_string(cont.transfers),
-                          std::to_string(reuse.transfers),
-                          std::to_string(reuse.held),
-                          fmt(reuse.fidelity / cont.fidelity, "%.4f")});
-            family_moves[entry.family].first += cont.moves;
-            family_moves[entry.family].second += reuse.moves;
-            total_continuous += cont.moves;
-            total_reuse += reuse.moves;
+                // Accounting invariants, per compile and per policy.
+                failures += gate(run.parked_no_reuse + run.window_misses ==
+                                     run.misses,
+                                 entry.name + "/" + policy_name,
+                                 "miss split must sum to lookahead_misses");
+                failures += gate(run.holds_started == run.holds_ended,
+                                 entry.name + "/" + policy_name,
+                                 "residency spans must settle by program "
+                                 "end (holds_started == holds_ended)");
+            }
+            rows.emplace_back(entry, std::move(runs));
         } catch (const std::exception &e) {
             std::fprintf(stderr, "%s: FAILED: %s\n", entry.name.c_str(),
                          e.what());
@@ -162,28 +259,50 @@ main(int argc, char **argv)
 
     std::printf("%s\n", table.toString().c_str());
 
-    std::printf("--- Planned moves by family ---\n");
-    for (const auto &[family, moves] : family_moves) {
-        const auto [cont, reuse] = moves;
-        std::printf("%-16s %6zu -> %6zu  (%+.1f%%)\n", family.c_str(), cont,
-                    reuse,
-                    cont == 0 ? 0.0
-                              : 100.0 *
-                                    (static_cast<double>(reuse) -
-                                     static_cast<double>(cont)) /
-                                    static_cast<double>(cont));
+    std::printf("--- Planned moves (hits) by family ---\n");
+    for (const auto &[family, by_policy] : family_totals) {
+        std::printf("%-16s", family.c_str());
+        for (const auto &[policy, totals] : by_policy) {
+            std::printf("  %s=%zu(%llu)", policy.c_str(), totals.first,
+                        static_cast<unsigned long long>(totals.second));
+        }
+        std::printf("\n");
     }
-    std::printf("\nSuite total: %zu -> %zu planned moves (%+.1f%%)\n",
-                total_continuous, total_reuse,
-                total_continuous == 0
-                    ? 0.0
-                    : 100.0 *
-                          (static_cast<double>(total_reuse) -
-                           static_cast<double>(total_continuous)) /
-                          static_cast<double>(total_continuous));
+
+    // Cross-block reuse gates: persistent residency (lti) must buy
+    // reuse hits the per-block window cannot see on the block-per-gate
+    // families, and must never plan more moves than the window policy
+    // on BV (one final block; hits are impossible for everyone, but
+    // unbounded residency skips parks the window policy pays for).
+    for (const auto &[family, by_policy] : family_totals) {
+        const auto lookahead = by_policy.at("lookahead");
+        const auto lti = by_policy.at("lti");
+        if (family == "QSIM-rand-0.3" || family == "QFT") {
+            failures += gate(lti.second > lookahead.second, family,
+                             "lti must measure more reuse hits than "
+                             "lookahead (cross-block residency)");
+        }
+        if (family == "BV") {
+            failures += gate(lti.first <= lookahead.first, family,
+                             "lti must not plan more moves than lookahead "
+                             "on BV (held data qubits skip their parks)");
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::FILE *out = std::fopen(json_path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            ++failures;
+        } else {
+            writeJson(out, rows);
+            std::fclose(out);
+            std::printf("\nwrote %s\n", json_path.c_str());
+        }
+    }
 
     if (failures > 0) {
-        std::fprintf(stderr, "%d benchmark(s) failed validation\n", failures);
+        std::fprintf(stderr, "%d gate/validation failure(s)\n", failures);
         return 1;
     }
     return 0;

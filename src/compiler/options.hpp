@@ -117,6 +117,18 @@ struct CompilerOptions
     std::uint32_t reuse_lookahead = 4;
 
     /**
+     * How the reuse router decides which idle atoms stay resident in
+     * the compute zone — the replacement policy of the compute zone
+     * viewed as a cache of atoms over storage. Lookahead (the default)
+     * is the fixed reuse_lookahead window with holds force-released at
+     * every block boundary, bit-identical to the pre-policy router;
+     * Lru / Lti / Fidelity let residency persist across blocks and
+     * evict by recency, next-use distance, or the fidelity cost model
+     * (src/reuse/policy.hpp). Ignored by every other routing strategy.
+     */
+    ResidencyPolicy residency = ResidencyPolicy::Lookahead;
+
+    /**
      * Windowed-routing search width, in candidate gate orderings per
      * stage transition (>= 1): the original order plus window - 1
      * random shuffles, each routed on a scratch layout, best total

@@ -284,7 +284,7 @@ RoutingPass::RoutingPass(PipelineContext &ctx)
         reuse_router_ = std::make_unique<ReuseAwareRouter>(
             ctx.machine,
             ReuseRouterOptions{ctx.options.reuse_lookahead,
-                               ctx.options.seed},
+                               ctx.options.seed, ctx.options.residency},
             ctx.rng);
     }
     if (ctx.options.routing == RoutingStrategy::Fast) {
@@ -350,6 +350,13 @@ RoutingPass::run(PipelineContext &ctx, const Stage &stage)
                                 plan.num_reuse_hits);
         ctx.profiler.addCounter(PassId::Routing, "lookahead_misses",
                                 plan.num_lookahead_misses);
+        // The misses split into "no further use in the block" (parking
+        // is simply correct) and genuine window/pressure/cost misses;
+        // the two always sum to lookahead_misses.
+        ctx.profiler.addCounter(PassId::Routing, "parked_no_reuse",
+                                plan.num_parked_no_reuse);
+        ctx.profiler.addCounter(PassId::Routing, "window_misses",
+                                plan.num_window_misses);
         ctx.profiler.addCounter(PassId::Routing, "reuse_relocations",
                                 plan.num_reuse_relocated);
         ctx.profiler.addCounter(PassId::Routing, "holds_denied",
@@ -364,6 +371,27 @@ RoutingPass::run(PipelineContext &ctx, const Stage &stage)
                                 plan.num_window_wins);
     }
     return plan;
+}
+
+void
+RoutingPass::endProgram(PipelineContext &ctx)
+{
+    if (reuse_router_ == nullptr)
+        return;
+    // Settle residency spans still open after the last transition so
+    // the lifetime stats balance (holds_started == holds_ended); they
+    // used to leak for the final block, whose spans were only closed by
+    // a beginBlock() that never came.
+    reuse_router_->endProgram();
+    const ResidencyStats &stats = reuse_router_->residencyStats();
+    ctx.profiler.addCounter(PassId::Routing, "residency_holds_started",
+                            stats.holds_started);
+    ctx.profiler.addCounter(PassId::Routing, "residency_holds_ended",
+                            stats.holds_ended);
+    ctx.profiler.addCounter(PassId::Routing, "residency_resident_stages",
+                            stats.resident_stages);
+    ctx.profiler.addCounter(PassId::Routing, "residency_max_concurrent",
+                            stats.max_concurrent);
 }
 
 CollMoveOrderPass::CollMoveOrderPass(CollMoveOrderStrategy strategy)
@@ -456,6 +484,10 @@ Pipeline::run(const Circuit &circuit) const
         }
         ++ctx.block_index;
     }
+
+    // Close residency spans surviving the final block (reuse routing
+    // only; a no-op for the other strategies).
+    routing.endProgram(ctx);
 
     const auto stop = std::chrono::steady_clock::now();
     const double elapsed_us =

@@ -207,6 +207,15 @@ class RoutingPass
 
     TransitionPlan run(PipelineContext &ctx, const Stage &stage);
 
+    /**
+     * Called once after the program's last transition: closes residency
+     * spans surviving the final block (they used to leak — the stats
+     * only settled in the next beginBlock(), which never comes for the
+     * last block) and publishes the residency lifetime counters. A
+     * no-op for the non-reuse strategies.
+     */
+    void endProgram(PipelineContext &ctx);
+
   private:
     ContinuousRouter router_;
     std::unique_ptr<ReuseAwareRouter> reuse_router_;     // engaged iff Reuse

@@ -166,6 +166,36 @@ parseRoutingStrategy(std::string_view text, RoutingStrategy &out)
     return false;
 }
 
+std::string_view
+residencyPolicyName(ResidencyPolicy policy)
+{
+    switch (policy) {
+    case ResidencyPolicy::Lookahead:
+        return "lookahead";
+    case ResidencyPolicy::Lru:
+        return "lru";
+    case ResidencyPolicy::Lti:
+        return "lti";
+    case ResidencyPolicy::Fidelity:
+        return "fidelity";
+    }
+    return "unknown";
+}
+
+bool
+parseResidencyPolicy(std::string_view text, ResidencyPolicy &out)
+{
+    for (const auto policy :
+         {ResidencyPolicy::Lookahead, ResidencyPolicy::Lru,
+          ResidencyPolicy::Lti, ResidencyPolicy::Fidelity}) {
+        if (text == residencyPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<StrategyCatalogEntry>
 strategyCatalog()
 {
@@ -185,6 +215,12 @@ strategyCatalog()
           routingStrategyName(RoutingStrategy::Reuse),
           routingStrategyName(RoutingStrategy::Fast),
           routingStrategyName(RoutingStrategy::Windowed)}},
+        {"residency",
+         "--residency",
+         {residencyPolicyName(ResidencyPolicy::Lookahead),
+          residencyPolicyName(ResidencyPolicy::Lru),
+          residencyPolicyName(ResidencyPolicy::Lti),
+          residencyPolicyName(ResidencyPolicy::Fidelity)}},
         {"stage-partition",
          "--stage-partition",
          {stagePartitionStrategyName(StagePartitionStrategy::Linear),

@@ -135,6 +135,55 @@ enum class RoutingStrategy : std::uint8_t
     Windowed,
 };
 
+/**
+ * How the reuse router decides compute-zone residency — the cache
+ * replacement policy when the compute zone is viewed as a cache of
+ * atoms over storage (only meaningful with RoutingStrategy::Reuse).
+ *
+ * The paper's fidelity model (src/fidelity/) prices the alternatives:
+ * a storage round trip costs four trap transfers plus two shuttle
+ * legs, staying resident costs one excitation exposure per intervening
+ * Rydberg pulse plus idle dephasing. The policies differ in how they
+ * weigh that trade and in whether residency may survive block
+ * boundaries.
+ */
+enum class ResidencyPolicy : std::uint8_t
+{
+    /**
+     * The fixed stage-count lookahead (Lin et al.): hold an idle qubit
+     * iff its next interaction lies within
+     * CompilerOptions::reuse_lookahead stages of the current block.
+     * Every hold is force-released at block boundaries. This is the
+     * default and reproduces the pre-policy reuse router bit for bit.
+     */
+    Lookahead,
+    /**
+     * Least-recently-used: every idle-in-compute qubit stays resident;
+     * under compute-zone pressure the qubits whose last gate lies
+     * farthest in the past are evicted first. Residency persists
+     * across block boundaries.
+     */
+    Lru,
+    /**
+     * Longest-time-to-interaction (Belady-style, the quicksilver
+     * lru-vs-lti compute-slot-replacement shape): every idle qubit
+     * stays resident; under pressure the qubit whose next use (from
+     * ReuseAnalysis) lies farthest in the future is evicted first, a
+     * qubit with no known next use counting as farthest. Residency
+     * persists across block boundaries, which is what finally buys
+     * cross-block reuse on QSIM/QFT/BV.
+     */
+    Lti,
+    /**
+     * Fidelity-weighted: hold iff the projected cost of staying
+     * resident until the next use — excitation exposures plus idle
+     * dephasing from the hardware parameters — is below the cost of a
+     * four-transfer storage round trip. Adapts the window to the
+     * machine instead of fixing a stage count; persists across blocks.
+     */
+    Fidelity,
+};
+
 /** Short stable name, e.g. "row-major"; used by reports and the CLI. */
 std::string_view placementStrategyName(PlacementStrategy strategy);
 std::string_view stagePartitionStrategyName(StagePartitionStrategy strategy);
@@ -142,6 +191,7 @@ std::string_view stageOrderStrategyName(StageOrderStrategy strategy);
 std::string_view collMoveOrderStrategyName(CollMoveOrderStrategy strategy);
 std::string_view aodBatchPolicyName(AodBatchPolicy policy);
 std::string_view routingStrategyName(RoutingStrategy strategy);
+std::string_view residencyPolicyName(ResidencyPolicy policy);
 
 /**
  * Parses a strategy name as printed by the matching *Name() function.
@@ -155,6 +205,7 @@ bool parseCollMoveOrderStrategy(std::string_view text,
                                 CollMoveOrderStrategy &out);
 bool parseAodBatchPolicy(std::string_view text, AodBatchPolicy &out);
 bool parseRoutingStrategy(std::string_view text, RoutingStrategy &out);
+bool parseResidencyPolicy(std::string_view text, ResidencyPolicy &out);
 
 /**
  * One row of the strategy catalog behind `powermove --list-strategies`:

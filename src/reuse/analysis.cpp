@@ -35,16 +35,23 @@ ReuseAnalysis::nextUseAfter(std::size_t stage, QubitId qubit) const
     return it == uses.end() ? kNoNextUse : static_cast<std::size_t>(*it);
 }
 
-bool
-ReuseAnalysis::shouldHold(std::size_t stage, QubitId qubit,
-                          std::size_t window) const
+std::size_t
+ReuseAnalysis::effectiveNextUse(std::size_t stage, QubitId qubit) const
 {
-    std::size_t next = nextUseAfter(stage, qubit);
+    const std::size_t next = nextUseAfter(stage, qubit);
     // In the final block, program end is a reuse event one past the
     // last stage: a finished qubit held through the closing pulses
     // skips its final park move and is never excited afterwards.
     if (next == kNoNextUse && final_block_)
-        next = num_stages_;
+        return num_stages_;
+    return next;
+}
+
+bool
+ReuseAnalysis::shouldHold(std::size_t stage, QubitId qubit,
+                          std::size_t window) const
+{
+    const std::size_t next = effectiveNextUse(stage, qubit);
     return next != kNoNextUse && next - stage <= window;
 }
 

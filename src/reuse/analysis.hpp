@@ -49,11 +49,23 @@ class ReuseAnalysis
     /** Number of stages announced for the current block. */
     std::size_t numStages() const { return num_stages_; }
 
+    /** True when the current block is the program's last. */
+    bool finalBlock() const { return final_block_; }
+
     /**
      * Index of the first stage strictly after @p stage in which
      * @p qubit interacts, or kNoNextUse.
      */
     std::size_t nextUseAfter(std::size_t stage, QubitId qubit) const;
+
+    /**
+     * nextUseAfter() with the final-block convention applied: in the
+     * program's last block a qubit with no further interaction gets
+     * the virtual reuse event one past the last stage (holding it
+     * skips the final park move and nothing excites it afterwards).
+     * Residency policies and the miss classification share this view.
+     */
+    std::size_t effectiveNextUse(std::size_t stage, QubitId qubit) const;
 
     /**
      * The hold decision: a qubit idle in @p stage stays resident when

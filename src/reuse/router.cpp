@@ -9,7 +9,10 @@ namespace powermove {
 ReuseAwareRouter::ReuseAwareRouter(const Machine &machine,
                                    ReuseRouterOptions options)
     : machine_(machine), options_(options), own_rng_(options.seed),
-      rng_(&own_rng_), occupancy_(machine), storage_index_(machine)
+      rng_(&own_rng_), occupancy_(machine), storage_index_(machine),
+      policy_(makeResidencyPolicy(options.residency, options.lookahead,
+                                  machine.params())),
+      num_compute_sites_(machine.computeSites().size())
 {
     PM_ASSERT(options_.lookahead >= 1, "reuse lookahead must be >= 1");
 }
@@ -17,7 +20,10 @@ ReuseAwareRouter::ReuseAwareRouter(const Machine &machine,
 ReuseAwareRouter::ReuseAwareRouter(const Machine &machine,
                                    ReuseRouterOptions options, Rng &rng)
     : machine_(machine), options_(options), own_rng_(options.seed),
-      rng_(&rng), occupancy_(machine), storage_index_(machine)
+      rng_(&rng), occupancy_(machine), storage_index_(machine),
+      policy_(makeResidencyPolicy(options.residency, options.lookahead,
+                                  machine.params())),
+      num_compute_sites_(machine.computeSites().size())
 {
     PM_ASSERT(options_.lookahead >= 1, "reuse lookahead must be >= 1");
 }
@@ -26,11 +32,31 @@ void
 ReuseAwareRouter::beginBlock(const std::vector<Stage> &stages,
                              std::size_t num_qubits, bool final_block)
 {
-    // Close the previous block's surviving residencies at its end
-    // (one past its last stage) before the analysis forgets it.
-    occupancy_.resetResidency(num_qubits, analysis_.numStages());
+    PM_ASSERT(!residency_sized_ || num_qubits == num_qubits_,
+              "circuit width must not change across blocks");
+    num_qubits_ = num_qubits;
+    policy_->beginProgram(num_qubits);
+    if (!residency_sized_ || !policy_->persistsAcrossBlocks()) {
+        // Close the previous block's surviving residencies at its end
+        // (the current global stage, one past its last transition).
+        // Persistent policies skip this: their survivors stay resident
+        // and are re-validated by partition() at the next transition.
+        occupancy_.resetResidency(num_qubits, global_stage_);
+        residency_sized_ = true;
+    }
     analysis_.beginBlock(stages, num_qubits, final_block);
     stage_cursor_ = 0;
+}
+
+void
+ReuseAwareRouter::endProgram()
+{
+    // Settle every span still open after the last transition; without
+    // this, holds surviving the final block would never be credited to
+    // the stats (the old code only settled them in the *next*
+    // beginBlock(), which never comes for the last block).
+    occupancy_.resetResidency(num_qubits_, global_stage_);
+    residency_sized_ = false;
 }
 
 TransitionPlan
@@ -41,6 +67,7 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
     PM_ASSERT(stage_cursor_ < analysis_.numStages(),
               "beginBlock() must announce the block's stages before routing");
     const std::size_t stage_index = stage_cursor_++;
+    const std::size_t global_index = global_stage_++;
 
     const std::size_t num_qubits = layout.numQubits();
     auto &partner = partner_;
@@ -50,6 +77,8 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
                   "stage gate outside circuit width");
         partner[gate.a] = gate.b;
         partner[gate.b] = gate.a;
+        policy_->noteInteraction(gate.a, global_index);
+        policy_->noteInteraction(gate.b, global_index);
     }
 
     occupancy_.beginTransition(layout);
@@ -71,23 +100,45 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
         return a < b;
     };
 
-    // ---- Step 1: split idle-in-compute qubits by the lookahead. ----------
+    // ---- Step 1: the residency policy splits idle-in-compute qubits. -----
+    // The policy sees the candidates in ascending qubit order and only
+    // decides membership; both sides are re-sorted into the router's
+    // deterministic order below, and no policy draws from the RNG, so
+    // the default lookahead policy reproduces the pre-policy router
+    // bit for bit.
+    auto &candidates = candidates_;
+    candidates.clear();
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        if (partner[q] != kNoQubit || layout.zoneOf(q) != ZoneKind::Compute)
+            continue;
+        candidates.push_back(q);
+    }
     auto &holds = holds_;
     holds.clear();
     auto &releases = releases_;
     releases.clear();
+    const std::size_t gate_sites = stage.gates.size();
+    const std::size_t capacity =
+        num_compute_sites_ > gate_sites ? num_compute_sites_ - gate_sites : 0;
+    const ResidencyQuery query{candidates,         stage_index, global_index,
+                               analysis_,          options_.lookahead,
+                               capacity};
+    policy_->partition(query, holds, releases);
+    PM_ASSERT(holds.size() + releases.size() == candidates.size(),
+              "residency policy must partition every candidate");
     auto &holds_at = holds_at_;
     holds_at.assign(machine_.numSites(), 0);
-    for (QubitId q = 0; q < num_qubits; ++q) {
-        if (partner[q] != kNoQubit || layout.zoneOf(q) != ZoneKind::Compute)
-            continue;
-        if (analysis_.shouldHold(stage_index, q, options_.lookahead)) {
-            holds.push_back(q);
-            ++holds_at[layout.siteOf(q)];
-        } else {
-            releases.push_back(q);
-            ++plan.num_lookahead_misses;
-        }
+    for (const QubitId q : holds)
+        ++holds_at[layout.siteOf(q)];
+    for (const QubitId q : releases) {
+        // Classify the miss: a release with no further use in the
+        // block is just correct parking; one with a known upcoming use
+        // is a genuine window/pressure/cost miss.
+        ++plan.num_lookahead_misses;
+        if (analysis_.effectiveNextUse(stage_index, q) == kNoNextUse)
+            ++plan.num_parked_no_reuse;
+        else
+            ++plan.num_window_misses;
     }
     std::sort(releases.begin(), releases.end(), vertical_order);
     for (const QubitId q : releases) {
@@ -100,16 +151,17 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
         target[q] = slot;
         plan.moves.push_back({q, from, slot});
         ++plan.num_parked;
-        occupancy_.releaseResident(q, stage_index);
+        occupancy_.releaseResident(q, global_index);
     }
 
     // A hold that pays off: the qubit enters its next gate while still
-    // resident, having skipped at least one storage round trip.
+    // resident, having skipped at least one storage round trip (for
+    // persistent policies possibly a round trip across blocks).
     for (const auto &gate : stage.gates) {
         for (const QubitId q : {gate.a, gate.b}) {
             if (occupancy_.isResident(q)) {
                 ++plan.num_reuse_hits;
-                occupancy_.releaseResident(q, stage_index);
+                occupancy_.releaseResident(q, global_index);
             }
         }
     }
@@ -237,7 +289,7 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
         const SiteId site = layout.siteOf(q);
         if (occupancy_.plannedAt(site) == 1) {
             ++plan.num_held;
-            occupancy_.holdResident(q, stage_index);
+            occupancy_.holdResident(q, global_index);
             continue;
         }
         const SiteId dest =
@@ -249,7 +301,7 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
             relocated.push_back(q);
             ++plan.num_held;
             ++plan.num_reuse_relocated;
-            occupancy_.holdResident(q, stage_index);
+            occupancy_.holdResident(q, global_index);
         } else {
             // No surviving compute site: the hold is denied and the
             // qubit parks after all.
@@ -261,7 +313,7 @@ ReuseAwareRouter::planStageTransition(Layout &layout, const Stage &stage)
             denied.push_back(q);
             ++plan.num_hold_denied;
             ++plan.num_parked;
-            occupancy_.releaseResident(q, stage_index);
+            occupancy_.releaseResident(q, global_index);
         }
     }
 

@@ -13,10 +13,12 @@
  *
  * Per stage transition this router:
  *
- *  - Step 1: splits the idle-in-compute qubits by the ReuseAnalysis
- *    lookahead — a qubit whose next interaction lies within the window
- *    becomes a hold candidate; the rest park in storage exactly like
- *    the continuous router's step 1.
+ *  - Step 1: hands the idle-in-compute qubits to the configured
+ *    residency policy (reuse/policy.hpp), which partitions them into
+ *    hold candidates and releases — the cache replacement decision.
+ *    The default lookahead policy holds exactly the qubits whose next
+ *    interaction lies within the window; the rest park in storage
+ *    exactly like the continuous router's step 1.
  *  - Step 2: labels the interacting qubits (static / mobile /
  *    undecided) following the same Fig. 4 cases and the same RNG
  *    stream discipline as the continuous router. Interactions have
@@ -44,13 +46,16 @@
 #define POWERMOVE_REUSE_ROUTER_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/layout.hpp"
 #include "arch/machine.hpp"
 #include "common/rng.hpp"
+#include "compiler/strategies.hpp"
 #include "reuse/analysis.hpp"
 #include "reuse/occupancy.hpp"
+#include "reuse/policy.hpp"
 #include "route/free_site_index.hpp"
 #include "route/router.hpp"
 #include "schedule/stage.hpp"
@@ -68,6 +73,8 @@ struct ReuseRouterOptions
     std::size_t lookahead = 4;
     /** Seed for the randomized mobile/static choice (Fig. 4 case d). */
     std::uint64_t seed = 0xC0FFEE;
+    /** Cache replacement policy answering the hold/release question. */
+    ResidencyPolicy residency = ResidencyPolicy::Lookahead;
 };
 
 /** Plans stage transitions with gate-aware atom reuse. */
@@ -96,6 +103,16 @@ class ReuseAwareRouter
                     bool final_block = false);
 
     /**
+     * Closes every still-open residency span at the current global
+     * stage so the lifetime stats settle (holds_started ==
+     * holds_ended). Must be called once after the program's last
+     * transition; without it, spans surviving the final block would
+     * never be credited (they used to leak until the next
+     * beginBlock(), which never comes for the last block).
+     */
+    void endProgram();
+
+    /**
      * Plans the transition bringing @p layout into a configuration
      * executing @p stage — which must be the next announced stage —
      * and applies it to @p layout.
@@ -111,6 +128,12 @@ class ReuseAwareRouter
     /** Residency lifetime counters accumulated across all transitions. */
     const ResidencyStats &residencyStats() const { return occupancy_.stats(); }
 
+    /** Number of currently resident (held) qubits. */
+    std::size_t numResidents() const { return occupancy_.numResidents(); }
+
+    /** True if @p qubit is currently held resident in the compute zone. */
+    bool isResident(QubitId qubit) const { return occupancy_.isResident(qubit); }
+
   private:
     const Machine &machine_;
     ReuseRouterOptions options_;
@@ -120,7 +143,16 @@ class ReuseAwareRouter
     ZoneOccupancy occupancy_;
     ReuseAnalysis analysis_;
     StorageSlotIndex storage_index_;
+    std::unique_ptr<ResidencyPolicyImpl> policy_;
+    std::size_t num_compute_sites_ = 0;
     std::size_t stage_cursor_ = 0;
+    // Program-global transition counter: residency spans are stamped
+    // with it so persistent policies can hold across block boundaries
+    // without violating the span arithmetic (block-local indices would
+    // run backwards at each block start).
+    std::size_t global_stage_ = 0;
+    std::size_t num_qubits_ = 0;
+    bool residency_sized_ = false; // first beginBlock() sizes the tables
 
     // Scratch buffers reused across transitions (allocation-free
     // planning, matching the continuous router's compile-time story).
@@ -131,6 +163,7 @@ class ReuseAwareRouter
     std::vector<int> statics_at_;
     std::vector<QubitId> follower_;
     std::vector<QubitId> undecided_order_;
+    std::vector<QubitId> candidates_;
     std::vector<QubitId> holds_;
     std::vector<int> holds_at_; // per site: hold candidates parked there
     std::vector<QubitId> releases_;

@@ -69,8 +69,16 @@ struct TransitionPlan
     std::size_t num_hold_denied = 0;
     /** Interacting qubits that entered the stage already held resident. */
     std::size_t num_reuse_hits = 0;
-    /** Idle qubits whose next use lay beyond the lookahead window. */
+    /** Idle qubits released to storage by the residency policy. */
     std::size_t num_lookahead_misses = 0;
+    /**
+     * Split of num_lookahead_misses (the two always sum to it): releases
+     * with no further use in the block — parking is simply correct —
+     * versus genuine misses whose next use the policy declined to wait
+     * for (window too small, pressure eviction, or cost model said park).
+     */
+    std::size_t num_parked_no_reuse = 0;
+    std::size_t num_window_misses = 0;
 
     // Windowed-strategy accounting (always zero except under
     // --routing=windowed; see route/windowed_router.hpp).

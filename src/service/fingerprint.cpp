@@ -84,8 +84,9 @@ fingerprintMachineConfig(const MachineConfig &config)
 // A new field usually changes the struct's size on LP64 platforms,
 // tripping this assertion until both the hash and the expected size are
 // updated; when padding absorbs the addition instead (as it did for the
-// one-byte stage_partition enum), the structured-binding probe in
-// fingerprint_test.cpp still catches the unhashed field by count.
+// one-byte stage_partition and residency enums), the structured-binding
+// probe in fingerprint_test.cpp still catches the unhashed field by
+// count.
 static_assert(sizeof(void *) != 8 || sizeof(CompilerOptions) == 64,
               "CompilerOptions changed: extend fingerprintOptions() with the "
               "new field, then update this expected size");
@@ -107,6 +108,7 @@ fingerprintOptions(const CompilerOptions &options)
     hash.add(static_cast<std::uint64_t>(options.aod_batch_policy));
     hash.add(static_cast<std::uint64_t>(options.routing));
     hash.add(static_cast<std::uint64_t>(options.reuse_lookahead));
+    hash.add(static_cast<std::uint64_t>(options.residency));
     hash.add(static_cast<std::uint64_t>(options.routing_window));
     // profile_passes never changes the emitted schedule, but it changes
     // the CompileResult payload (pass_profiles present or empty), so it

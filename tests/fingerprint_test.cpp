@@ -171,6 +171,20 @@ TEST(FingerprintTest, OptionFieldsAreAddressed)
     lookahead.reuse_lookahead += 1;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(lookahead));
 
+    CompilerOptions lru = base;
+    lru.residency = ResidencyPolicy::Lru;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(lru));
+
+    CompilerOptions lti = base;
+    lti.residency = ResidencyPolicy::Lti;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(lti));
+    EXPECT_NE(fingerprintOptions(lru), fingerprintOptions(lti));
+
+    CompilerOptions fidelity = base;
+    fidelity.residency = ResidencyPolicy::Fidelity;
+    EXPECT_NE(fingerprintOptions(base), fingerprintOptions(fidelity));
+    EXPECT_NE(fingerprintOptions(lti), fingerprintOptions(fidelity));
+
     CompilerOptions fast_routing = base;
     fast_routing.routing = RoutingStrategy::Fast;
     EXPECT_NE(fingerprintOptions(base), fingerprintOptions(fast_routing));
@@ -207,7 +221,7 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     const auto &[use_storage, num_aods, stage_order_alpha, seed, placement,
                  placement_refine_iters, stage_partition, stage_order,
                  coll_move_order, aod_batch_policy, routing, reuse_lookahead,
-                 routing_window, profile_passes] = options;
+                 residency, routing_window, profile_passes] = options;
     EXPECT_EQ(use_storage, options.use_storage);
     EXPECT_EQ(num_aods, options.num_aods);
     EXPECT_EQ(stage_order_alpha, options.stage_order_alpha);
@@ -220,6 +234,7 @@ TEST(FingerprintTest, OptionFieldCountProbe)
     EXPECT_EQ(aod_batch_policy, options.aod_batch_policy);
     EXPECT_EQ(routing, options.routing);
     EXPECT_EQ(reuse_lookahead, options.reuse_lookahead);
+    EXPECT_EQ(residency, options.residency);
     EXPECT_EQ(routing_window, options.routing_window);
     EXPECT_EQ(profile_passes, options.profile_passes);
 }
@@ -282,6 +297,13 @@ TEST(FingerprintTest, ScheduleNeutralOptionsShareTheSeedFingerprint)
     windowed.routing = RoutingStrategy::Windowed;
     EXPECT_NE(seedFingerprintJob(circuit, config, continuous),
               seedFingerprintJob(circuit, config, windowed));
+    // The residency policy changes which qubits hold and therefore the
+    // schedule, so it participates in seed derivation too.
+    CompilerOptions lti_reuse = continuous;
+    lti_reuse.routing = RoutingStrategy::Reuse;
+    lti_reuse.residency = ResidencyPolicy::Lti;
+    EXPECT_NE(seedFingerprintJob(circuit, config, reuse),
+              seedFingerprintJob(circuit, config, lti_reuse));
 }
 
 TEST(FingerprintTest, DerivedSeedsAreDeterministicAndDecorrelated)

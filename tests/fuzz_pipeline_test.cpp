@@ -76,6 +76,7 @@ struct FuzzCase
     PlacementStrategy placement;
     StagePartitionStrategy stage_partition;
     std::uint32_t routing_window = 8;
+    ResidencyPolicy residency = ResidencyPolicy::Lookahead;
 };
 
 class PipelineFuzz : public ::testing::TestWithParam<FuzzCase>
@@ -96,6 +97,7 @@ TEST_P(PipelineFuzz, PowerMoveSchedulesValidate)
     options.placement = param.placement;
     options.stage_partition = param.stage_partition;
     options.routing_window = param.routing_window;
+    options.residency = param.residency;
     // A tight budget still exercises greedy + refinement while keeping
     // the case count x placement sweep cheap.
     options.placement_refine_iters = 8;
@@ -162,6 +164,7 @@ TEST_P(PipelineFuzz, JobServiceMatchesEffectiveOptionsReplay)
     options.placement = param.placement;
     options.stage_partition = param.stage_partition;
     options.routing_window = param.routing_window;
+    options.residency = param.residency;
     options.placement_refine_iters = 8;
     const service::CompileJob job{
         circuit, MachineConfig::forQubits(param.num_qubits), options};
@@ -232,6 +235,15 @@ makeCases()
         StagePartitionStrategy::Linear,
         StagePartitionStrategy::Balanced,
     };
+    // The residency axis rotates through every policy across the reuse
+    // cases (3 per group, 4-cycle → each policy meets every window size,
+    // qubit count, and zone configuration somewhere in the sweep).
+    constexpr ResidencyPolicy kResidencies[] = {
+        ResidencyPolicy::Lookahead,
+        ResidencyPolicy::Lru,
+        ResidencyPolicy::Lti,
+        ResidencyPolicy::Fidelity,
+    };
     std::vector<FuzzCase> cases;
     std::uint64_t seed = 1;
     std::size_t group = 0;
@@ -255,7 +267,9 @@ makeCases()
                 for (const std::uint32_t window : {1u, 4u, 16u}) {
                     cases.push_back({seed++, n, storage, aods,
                                      RoutingStrategy::Reuse, window,
-                                     next_placement(), next_partition()});
+                                     next_placement(), next_partition(), 8,
+                                     kResidencies[(cases.size() + group) %
+                                                  std::size(kResidencies)]});
                 }
                 // The incremental fast path sees the same axis sweep as
                 // the reference it must mirror.

@@ -48,6 +48,9 @@
  *                  fast path, src/route/fast_router.*), or windowed
  *                  (best-of-N gate orderings, src/route/
  *                  windowed_router.*)
+ *   --residency P  reuse residency (cache replacement) policy: lookahead
+ *                  (default), lru, lti, or fidelity (--routing reuse
+ *                  only; src/reuse/policy.*)
  *   --reuse-lookahead N  reuse hold window in stages (default 4)
  *   --routing-window N  windowed-routing candidate orderings per stage
  *                  transition (default 8; --routing windowed only)
@@ -195,6 +198,9 @@ printUsage(std::FILE *stream)
         "                 reuse (gate-aware atom reuse), fast\n"
         "                 (bit-identical incremental fast path), or\n"
         "                 windowed (best-of-N gate orderings)\n"
+        "  --residency P  reuse residency (cache replacement) policy:\n"
+        "                 lookahead (default), lru, lti, or fidelity\n"
+        "                 (--routing reuse only)\n"
         "  --reuse-lookahead N\n"
         "                 reuse hold window in stages (default 4)\n"
         "  --routing-window N\n"
@@ -272,7 +278,8 @@ expandArgs(int argc, char **argv)
     static constexpr const char *kValueFlags[] = {
         "--jobs",      "--num-aods",        "--seed",
         "--alpha",     "--placement",       "--routing",
-        "--reuse-lookahead", "--routing-window", "--batch-policy",
+        "--residency", "--reuse-lookahead", "--routing-window",
+        "--batch-policy",
         "--out-dir",
         "--placement-refine-iters", "--stage-partition",
         "--cache-dir", "--priority",        "--deadline-ms",
@@ -461,6 +468,16 @@ parseArgs(int argc, char **argv, CliOptions &cli)
                 std::fprintf(stderr,
                              "powermove: unknown routing '%s' (expected "
                              "continuous, reuse, fast, or windowed)\n",
+                             text.c_str());
+                return false;
+            }
+        } else if (arg == "--residency") {
+            if (!take_value("--residency", i, text))
+                return false;
+            if (!parseResidencyPolicy(text, cli.compiler.residency)) {
+                std::fprintf(stderr,
+                             "powermove: unknown residency policy '%s' "
+                             "(expected lookahead, lru, lti, or fidelity)\n",
                              text.c_str());
                 return false;
             }
